@@ -1,0 +1,421 @@
+// Command darkcrowd is the pipeline CLI: generate synthetic datasets,
+// build profiles, place crowds, geolocate, classify hemispheres, and
+// scrape live forums — one subcommand per pipeline stage, composing
+// through CSV traces on disk.
+//
+// Usage:
+//
+//	darkcrowd generate -regions jp:60,us-il:30 -out crowd.csv
+//	darkcrowd profile -in crowd.csv -user jp-0001
+//	darkcrowd geolocate -in crowd.csv
+//	darkcrowd hemisphere -in crowd.csv -top 5
+//	darkcrowd scrape -url http://127.0.0.1:8080 -out scraped.csv
+//	darkcrowd serve -forum "CRD Club" -addr 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"darkcrowd"
+	"darkcrowd/internal/core/geoloc"
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/crawler"
+	"darkcrowd/internal/forum"
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "darkcrowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "reference":
+		return cmdReference(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
+	case "geolocate":
+		return cmdGeolocate(args[1:])
+	case "hemisphere":
+		return cmdHemisphere(args[1:])
+	case "scrape":
+		return cmdScrape(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: darkcrowd <subcommand> [flags]
+
+subcommands:
+  generate    synthesize a crowd activity trace (CSV)
+  reference   build and save the generic reference profile (JSON)
+  profile     show a user's or the crowd's 24-hour activity profile
+  geolocate   place a crowd and fit its time-zone mixture
+  hemisphere  classify users as northern/southern hemisphere (DST test)
+  scrape      crawl a live forum into a CSV trace
+  serve       host a synthetic forum over plain HTTP`)
+}
+
+// parseRegions parses "jp:60,us-il:30" into ordered (code, count) pairs.
+func parseRegions(s string) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		if part == "" {
+			continue
+		}
+		code, countStr, found := strings.Cut(part, ":")
+		if !found {
+			return nil, fmt.Errorf("bad region spec %q (want code:count)", part)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad user count in %q", part)
+		}
+		if _, err := tz.ByCode(code); err != nil {
+			return nil, err
+		}
+		out[code] = n
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no regions given")
+	}
+	return out, nil
+}
+
+func loadTrace(path string) (*trace.Dataset, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer fh.Close()
+	return trace.ReadCSV(path, fh)
+}
+
+func saveTrace(ds *trace.Dataset, path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create trace: %w", err)
+	}
+	defer fh.Close()
+	return ds.WriteCSV(fh)
+}
+
+// reference builds the generic profile from a fresh synthetic Twitter
+// stand-in.
+func reference(seed int64, scale int) (*profile.GenericResult, error) {
+	twitter, err := synth.TwitterDataset(seed, synth.TwitterOptions{Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	return profile.BuildGeneric(twitter, profile.GenericOptions{})
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	regions := fs.String("regions", "jp:50", "comma-separated code:count pairs (see region codes in README)")
+	posts := fs.Float64("posts", 90, "target posts per user over the year")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "crowd.csv", "output CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := parseRegions(*regions)
+	if err != nil {
+		return err
+	}
+	var groups []synth.Group
+	codes := make([]string, 0, len(specs))
+	for code := range specs {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		region, err := tz.ByCode(code)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, synth.Group{Region: region, Users: specs[code], PostsPerUser: *posts})
+	}
+	ds, err := synth.GenerateCrowd(*seed, synth.CrowdConfig{Name: "generated", Groups: groups})
+	if err != nil {
+		return err
+	}
+	if err := saveTrace(ds, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, ds.Summarize())
+	return nil
+}
+
+func renderProfile(p profile.Profile) {
+	maxVal := 0.0
+	for _, v := range p {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	for h, v := range p {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * 40)
+		}
+		fmt.Printf("  %02dh %-40s %.4f\n", h, strings.Repeat("#", bar), v)
+	}
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	in := fs.String("in", "crowd.csv", "input CSV trace")
+	user := fs.String("user", "", "show this user's profile (default: whole crowd)")
+	minPosts := fs.Int("min-posts", profile.DefaultMinPosts, "active-user threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	if *user != "" {
+		posts := ds.ByUser()[*user]
+		if len(posts) == 0 {
+			return fmt.Errorf("user %q not in trace", *user)
+		}
+		p, err := profile.FromPosts(posts, profile.UTCHours())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("profile of %s (%d posts, UTC frame):\n", *user, len(posts))
+		renderProfile(p)
+		return nil
+	}
+	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts})
+	if err != nil {
+		return err
+	}
+	var list []profile.Profile
+	for _, id := range profile.SortedUserIDs(profiles) {
+		list = append(list, profiles[id])
+	}
+	pop, err := profile.Aggregate(list)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("population profile of %s (%d active users, UTC frame):\n", ds.Name, len(list))
+	renderProfile(pop)
+	return nil
+}
+
+func cmdReference(args []string) error {
+	fs := flag.NewFlagSet("reference", flag.ContinueOnError)
+	seed := fs.Int64("seed", 2018, "seed for the reference dataset")
+	scale := fs.Int("twitter-scale", 40, "reference dataset scale divisor")
+	out := fs.String("out", "reference.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gen, err := reference(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	ref := &darkcrowd.Reference{
+		Generic:     gen.Generic,
+		PerRegion:   gen.PerRegion,
+		ActiveUsers: gen.ActiveUsers,
+	}
+	fh, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("create reference: %w", err)
+	}
+	defer fh.Close()
+	if err := ref.WriteJSON(fh); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d regions)\n", *out, len(ref.PerRegion))
+	return nil
+}
+
+func cmdGeolocate(args []string) error {
+	fs := flag.NewFlagSet("geolocate", flag.ContinueOnError)
+	in := fs.String("in", "crowd.csv", "input CSV trace (UTC timestamps)")
+	refPath := fs.String("ref", "", "load the reference from this JSON file instead of rebuilding it")
+	seed := fs.Int64("seed", 2018, "seed for the reference dataset")
+	scale := fs.Int("twitter-scale", 40, "reference dataset scale divisor")
+	minPosts := fs.Int("min-posts", profile.DefaultMinPosts, "active-user threshold")
+	skipPolish := fs.Bool("skip-polish", false, "skip flat-profile removal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	var gen *profile.GenericResult
+	if *refPath != "" {
+		fh, err := os.Open(*refPath)
+		if err != nil {
+			return fmt.Errorf("open reference: %w", err)
+		}
+		ref, err := darkcrowd.ReadReference(fh)
+		fh.Close()
+		if err != nil {
+			return err
+		}
+		gen = &profile.GenericResult{
+			Generic:     ref.Generic,
+			PerRegion:   ref.PerRegion,
+			ActiveUsers: ref.ActiveUsers,
+		}
+	} else {
+		gen, err = reference(*seed, *scale)
+		if err != nil {
+			return err
+		}
+	}
+	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts})
+	if err != nil {
+		return err
+	}
+	if !*skipPolish {
+		polished, err := profile.Polish(profiles, gen.Generic, true)
+		if err != nil {
+			return err
+		}
+		if len(polished.Removed) > 0 {
+			fmt.Printf("polishing removed %d flat profile(s)\n", len(polished.Removed))
+		}
+		profiles = polished.Kept
+	}
+	geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement of %d active users across the 24 time zones:\n", len(profiles))
+	for zi, share := range geo.Placement.Histogram {
+		if share == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %5.1f%%\n", profile.OffsetOf(zi), share*100)
+	}
+	fmt.Println("uncovered components:")
+	for i, comp := range geo.Components {
+		fmt.Printf("  %d. %s\n", i+1, comp)
+	}
+	fmt.Printf("fit quality: avg %.4f, std %.4f\n", geo.AvgDistance, geo.StdDistance)
+	return nil
+}
+
+func cmdHemisphere(args []string) error {
+	fs := flag.NewFlagSet("hemisphere", flag.ContinueOnError)
+	in := fs.String("in", "crowd.csv", "input CSV trace (UTC timestamps)")
+	top := fs.Int("top", 5, "classify this many most-active users")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadTrace(*in)
+	if err != nil {
+		return err
+	}
+	verdicts, err := geoloc.ClassifyTopUsers(ds, *top, geoloc.HemisphereOptions{})
+	if err != nil {
+		return err
+	}
+	users := geoloc.MostActiveUsers(ds, *top)
+	for _, u := range users {
+		v := verdicts[u]
+		if v == nil {
+			fmt.Printf("  %-20s insufficient seasonal activity\n", u)
+			continue
+		}
+		fmt.Printf("  %-20s %-6s (best alignment shift %+.2f h, %d+%d seasonal posts)\n",
+			u, v.Hemisphere, v.BestShift, v.OctMarPosts, v.MarOctPosts)
+	}
+	return nil
+}
+
+func cmdScrape(args []string) error {
+	fs := flag.NewFlagSet("scrape", flag.ContinueOnError)
+	rawURL := fs.String("url", "", "forum base URL (required)")
+	out := fs.String("out", "scraped.csv", "output CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rawURL == "" {
+		return fmt.Errorf("-url is required")
+	}
+	c := &crawler.Crawler{BaseURL: strings.TrimRight(*rawURL, "/")}
+	res, err := c.Scrape("scraped")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured server offset: %v\n", res.ServerOffset)
+	fmt.Printf("scraped %d posts (%d boards, %d threads, %d pages)\n",
+		res.Dataset.NumPosts(), res.Boards, res.Threads, res.Pages)
+	if err := saveTrace(res.Dataset, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	name := fs.String("forum", "CRD Club", "which §V forum to synthesize")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.Int64("seed", 42, "crowd generation seed")
+	scale := fs.Int("scale", 4, "divide the forum census by this factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := synth.ForumSpecByName(*name)
+	if err != nil {
+		return err
+	}
+	if *scale > 1 {
+		spec.Users /= *scale
+		spec.Posts /= *scale
+		if spec.Users < 20 {
+			spec.Users = 20
+		}
+	}
+	crowd, err := synth.ForumCrowd(*seed, spec)
+	if err != nil {
+		return err
+	}
+	f := forum.New(forum.Config{
+		Name:         spec.Name,
+		ServerOffset: time.Duration(spec.ServerOffsetHours) * time.Hour,
+		PageSize:     50,
+	})
+	if err := f.ImportCrowd(crowd, forum.ImportOptions{}); err != nil {
+		return err
+	}
+	fmt.Printf("serving %s (%d members, %d posts, clock skew %+dh) on http://%s\n",
+		spec.Name, f.NumMembers(), f.NumPosts(), spec.ServerOffsetHours, *addr)
+	return http.ListenAndServe(*addr, f.Handler())
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"darkcrowd/internal/forum"
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+func TestRunUsageAndErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestParseRegions(t *testing.T) {
+	got, err := parseRegions("jp:60,us-il:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["jp"] != 60 || got["us-il"] != 30 {
+		t.Errorf("parseRegions = %v", got)
+	}
+	for _, bad := range []string{"", "jp", "jp:x", "jp:0", "atlantis:5"} {
+		if _, err := parseRegions(bad); err == nil {
+			t.Errorf("parseRegions(%q) should fail", bad)
+		}
+	}
+}
+
+func TestGenerateProfileGeolocatePipeline(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "crowd.csv")
+	if err := run([]string{"generate", "-regions", "jp:40", "-posts", "80", "-seed", "5", "-out", out}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output missing: %v", err)
+	}
+	// Profile of the whole crowd.
+	if err := run([]string{"profile", "-in", out}); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	// Profile of one user.
+	fh, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.ReadCSV(out, fh)
+	fh.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := ds.Users()[0]
+	if err := run([]string{"profile", "-in", out, "-user", user}); err != nil {
+		t.Fatalf("profile -user: %v", err)
+	}
+	if err := run([]string{"profile", "-in", out, "-user", "nobody"}); err == nil {
+		t.Error("missing user should fail")
+	}
+	// Geolocate (small reference for speed).
+	if err := run([]string{"geolocate", "-in", out, "-twitter-scale", "300"}); err != nil {
+		t.Fatalf("geolocate: %v", err)
+	}
+	// Missing trace.
+	if err := run([]string{"geolocate", "-in", filepath.Join(dir, "nope.csv")}); err == nil {
+		t.Error("missing trace should fail")
+	}
+}
+
+func TestHemisphereCommand(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "br.csv")
+	if err := run([]string{"generate", "-regions", "br:3", "-posts", "3000", "-seed", "9", "-out", out}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"hemisphere", "-in", out, "-top", "3"}); err != nil {
+		t.Fatalf("hemisphere: %v", err)
+	}
+}
+
+func TestScrapeCommand(t *testing.T) {
+	region, err := tz.ByCode("it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := synth.GenerateCrowd(77, synth.CrowdConfig{
+		Name:   "cli-scrape",
+		Groups: []synth.Group{{Region: region, Users: 5, PostsPerUser: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := forum.New(forum.Config{
+		Name:         "cli forum",
+		ServerOffset: 2 * time.Hour,
+		Clock:        func() time.Time { return time.Date(2017, 7, 1, 10, 0, 0, 0, time.UTC) },
+	})
+	if err := f.ImportCrowd(crowd, forum.ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scraped.csv")
+	if err := run([]string{"scrape", "-url", srv.URL + "/", "-out", out}); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	fh, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.ReadCSV(out, fh)
+	fh.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumPosts() != crowd.NumPosts() {
+		t.Errorf("scraped %d posts, want %d", ds.NumPosts(), crowd.NumPosts())
+	}
+	// Missing URL.
+	if err := run([]string{"scrape"}); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Errorf("scrape without URL: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"generate", "-regions", "bad"}); err == nil {
+		t.Error("bad regions should fail")
+	}
+	if err := run([]string{"generate", "-regions", "jp:5", "-out", "/nonexistent-dir/x.csv"}); err == nil {
+		t.Error("unwritable output should fail")
+	}
+}
+
+func TestReferenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	if err := run([]string{"reference", "-twitter-scale", "300", "-out", refPath}); err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	crowdPath := filepath.Join(dir, "crowd.csv")
+	if err := run([]string{"generate", "-regions", "jp:30", "-out", crowdPath}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"geolocate", "-in", crowdPath, "-ref", refPath}); err != nil {
+		t.Fatalf("geolocate with saved reference: %v", err)
+	}
+	if err := run([]string{"geolocate", "-in", crowdPath, "-ref", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing reference should fail")
+	}
+}

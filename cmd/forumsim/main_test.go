@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForumsimEndToEnd(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-forum", "Italian DarkNet Community",
+		"-scale", "8",
+		"-relays", "8",
+		"-seed", "9",
+		"-twitter-scale", "200",
+	}, &out)
+	if err != nil {
+		t.Fatalf("forumsim run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Italian DarkNet Community",
+		"hidden service",
+		"measured server offset",
+		"geolocation of the",
+		"component 1:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestForumsimUnknownForum(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-forum", "No Such Forum"}, &out); err == nil {
+		t.Error("unknown forum should fail")
+	}
+}
+
+func TestForumsimBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "not-a-number"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,65 @@
+// Hemisphere example: the §V-F daylight-saving-time test.
+//
+// Generates one heavy user in each of four countries — two northern DST
+// countries, one southern, one without DST — and shows how comparing the
+// October-March activity profile against the March-October profile
+// shifted by ±1 hour reveals the hemisphere.
+//
+//	go run ./examples/hemisphere
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"darkcrowd"
+	"darkcrowd/internal/core/geoloc"
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/tz"
+)
+
+func main() {
+	cases := []struct {
+		code string
+		note string
+	}{
+		{"de", "Germany: northern DST (late March to late October)"},
+		{"uk", "United Kingdom: northern DST"},
+		{"br", "Brazil: southern DST (October to February)"},
+		{"jp", "Japan: no daylight saving time"},
+	}
+	for i, tc := range cases {
+		region, err := tz.ByCode(tc.code)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := synth.GenerateCrowd(int64(100+i), synth.CrowdConfig{
+			Name:   tc.code,
+			Groups: []synth.Group{{Region: region, Users: 1, PostsPerUser: 4000}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		users := ds.Users()
+		posts := ds.ByUser()[users[0]]
+
+		// Detailed verdict via the internal API...
+		verdict, err := geoloc.ClassifyHemisphere(posts, geoloc.HemisphereOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// ...and the one-call public API.
+		ruled, err := darkcrowd.ClassifyHemisphere(posts)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Println(tc.note)
+		fmt.Printf("  posts: %d Oct-Mar, %d Mar-Oct\n", verdict.OctMarPosts, verdict.MarOctPosts)
+		fmt.Printf("  EMD(OctMar, MarOct shifted +1h) = %.3f   <- matches for northern users\n", verdict.DistanceForward)
+		fmt.Printf("  EMD(OctMar, MarOct unshifted)   = %.3f\n", verdict.DistanceUnshifted)
+		fmt.Printf("  EMD(OctMar, MarOct shifted -1h) = %.3f   <- matches for southern users\n", verdict.DistanceBackward)
+		fmt.Printf("  best fractional alignment: %+.2f h\n", verdict.BestShift)
+		fmt.Printf("  => ruled %s (public API agrees: %s)\n\n", verdict.Hemisphere, ruled)
+	}
+}

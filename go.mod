@@ -1,0 +1,3 @@
+module darkcrowd
+
+go 1.22

@@ -1,0 +1,288 @@
+// Package geoloc implements the paper's crowd-geolocation methodology
+// (§IV-A/B): every anonymous user is placed on the time zone whose
+// reference profile is closest under the Earth Mover's Distance, the
+// resulting placement histogram is fitted with a single Gaussian
+// (single-country crowds) or a Gaussian mixture estimated by EM
+// (multiple-country crowds), and the fitted component means reveal the
+// time zones the crowd lives in. The package also provides the Table II
+// fit-quality metrics and the §V-F DST-based hemisphere classifier.
+package geoloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/stats"
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+// DistanceKind selects the profile distance used for placement.
+type DistanceKind int
+
+// Distance kinds. The paper's methodology calls for the EMD on profiles
+// that live on the 24-hour circle; the linear variant is kept for the
+// ablation benchmark.
+const (
+	DistanceCircularEMD DistanceKind = iota + 1
+	DistanceLinearEMD
+)
+
+// String implements fmt.Stringer.
+func (d DistanceKind) String() string {
+	switch d {
+	case DistanceCircularEMD:
+		return "circular-emd"
+	case DistanceLinearEMD:
+		return "linear-emd"
+	default:
+		return fmt.Sprintf("DistanceKind(%d)", int(d))
+	}
+}
+
+// Placement is the outcome of assigning every member of a crowd to the
+// nearest time zone (§IV-A).
+type Placement struct {
+	// Assignments maps each user to the offset of their nearest zone.
+	Assignments map[string]tz.Offset
+	// Histogram is the fraction of the crowd placed on each zone, indexed
+	// by zone index (see profile.ZoneIndex); it sums to 1.
+	Histogram []float64
+	// Counts is the raw user count per zone index.
+	Counts []int
+}
+
+// Samples returns one value per user — the zone index of the user's
+// placement — in sorted-user order, ready to be fed to EM.
+func (p *Placement) Samples() []float64 {
+	users := make([]string, 0, len(p.Assignments))
+	for u := range p.Assignments {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	out := make([]float64, 0, len(users))
+	for _, u := range users {
+		out = append(out, float64(profile.ZoneIndex(p.Assignments[u])))
+	}
+	return out
+}
+
+// PlaceOptions configures PlaceUsers.
+type PlaceOptions struct {
+	// Distance selects the placement metric.
+	// Defaults to DistanceCircularEMD.
+	Distance DistanceKind
+}
+
+// PlaceUsers assigns every profile to its nearest time zone, comparing the
+// user's UTC-frame profile against the 24 zone reference profiles derived
+// from the generic profile: "we geolocate that member on the timezone whose
+// activity profile is less distant" (§IV-A).
+func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, opts PlaceOptions) (*Placement, error) {
+	if len(profiles) == 0 {
+		return nil, errors.New("geoloc: no profiles to place")
+	}
+	if opts.Distance == 0 {
+		opts.Distance = DistanceCircularEMD
+	}
+	zones := profile.ZoneProfiles(generic)
+	out := &Placement{
+		Assignments: make(map[string]tz.Offset, len(profiles)),
+		Histogram:   make([]float64, tz.HoursPerDay),
+		Counts:      make([]int, tz.HoursPerDay),
+	}
+	for _, userID := range profile.SortedUserIDs(profiles) {
+		p := profiles[userID]
+		best := -1
+		bestDist := 0.0
+		for zi, zp := range zones {
+			var d float64
+			var err error
+			switch opts.Distance {
+			case DistanceLinearEMD:
+				d, err = p.EMDLinear(zp)
+			default:
+				d, err = p.EMD(zp)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("geoloc: distance for user %q zone %d: %w", userID, zi, err)
+			}
+			if best == -1 || d < bestDist {
+				best = zi
+				bestDist = d
+			}
+		}
+		out.Assignments[userID] = profile.OffsetOf(best)
+		out.Counts[best]++
+	}
+	total := float64(len(profiles))
+	for zi, c := range out.Counts {
+		out.Histogram[zi] = float64(c) / total
+	}
+	return out, nil
+}
+
+// SingleFit is the single-Gaussian placement fit used for single-country
+// crowds (Figures 3-5): the center of the Gaussian uncovers the crowd's
+// time zone.
+type SingleFit struct {
+	// Gaussian is the fitted curve, with Mean on the zone-index axis.
+	Gaussian stats.Gaussian
+	// PeakOffset is the fitted mean translated to a UTC offset (fractional
+	// part carries sub-zone precision).
+	PeakOffset float64
+	// NearestOffset is PeakOffset rounded to the nearest integer zone.
+	NearestOffset tz.Offset
+	// AvgDistance and StdDistance are the Table II point-by-point
+	// curve-to-histogram distance statistics.
+	AvgDistance, StdDistance float64
+}
+
+// FitSingle fits one Gaussian to the placement histogram by least squares
+// ("curve-fit the resulting distribution with a Gaussian", §IV-A).
+func FitSingle(p *Placement) (*SingleFit, error) {
+	g, err := stats.FitGaussianCircular(p.Histogram)
+	if err != nil {
+		return nil, fmt.Errorf("geoloc: single Gaussian fit: %w", err)
+	}
+	curve := stats.Mixture{g}.Curve(tz.HoursPerDay)
+	avg, std, err := stats.PointwiseDistanceStats(curve, p.Histogram)
+	if err != nil {
+		return nil, fmt.Errorf("geoloc: fit-quality metrics: %w", err)
+	}
+	peak := zoneAxisToOffset(g.Mean)
+	return &SingleFit{
+		Gaussian:      g,
+		PeakOffset:    peak,
+		NearestOffset: nearestOffset(g.Mean),
+		AvgDistance:   avg,
+		StdDistance:   std,
+	}, nil
+}
+
+// Component is one region of a mixed crowd, as uncovered by the GMM.
+type Component struct {
+	// Weight is the share of the crowd in this component.
+	Weight float64
+	// Offset is the component center translated to a (fractional) UTC
+	// offset.
+	Offset float64
+	// NearestOffset is Offset rounded to the nearest integer zone.
+	NearestOffset tz.Offset
+	// Sigma is the component's standard deviation in zones.
+	Sigma float64
+}
+
+// String renders the component the way the paper discusses them.
+func (c Component) String() string {
+	return fmt.Sprintf("%.0f%% of the crowd at %s (center %+.2f, sigma %.2f)",
+		c.Weight*100, c.NearestOffset, c.Offset, c.Sigma)
+}
+
+// Geolocation is the full §IV-B result for a crowd of unknown origin.
+type Geolocation struct {
+	// Placement is the per-user zone assignment.
+	Placement *Placement
+	// Mixture is the EM-fitted model on the zone-index axis.
+	Mixture stats.Mixture
+	// Components lists the uncovered regions, heaviest first.
+	Components []Component
+	// AvgDistance and StdDistance are the Table II metrics for the
+	// mixture curve against the placement histogram.
+	AvgDistance, StdDistance float64
+	// BIC is the selected model's Bayesian Information Criterion.
+	BIC float64
+}
+
+// GeolocateOptions configures Geolocate.
+type GeolocateOptions struct {
+	// Place configures the placement stage.
+	Place PlaceOptions
+	// MaxComponents bounds the GMM model search. Defaults to 4.
+	MaxComponents int
+	// EM tunes the EM runs; Period is forced to 24.
+	EM stats.EMConfig
+}
+
+// Geolocate runs the full §IV-B pipeline on a polished set of user
+// profiles: EMD placement, then EM-fitted Gaussian mixture with BIC model
+// selection, then the Table II fit-quality metrics.
+func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opts GeolocateOptions) (*Geolocation, error) {
+	placement, err := PlaceUsers(profiles, generic, opts.Place)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxComponents == 0 {
+		opts.MaxComponents = 4
+	}
+	emCfg := opts.EM
+	emCfg.Period = tz.HoursPerDay
+	res, err := stats.SelectMixture(placement.Samples(), opts.MaxComponents, emCfg)
+	if err != nil {
+		return nil, fmt.Errorf("geoloc: mixture selection: %w", err)
+	}
+	curve := res.Mixture.Curve(tz.HoursPerDay)
+	avg, std, err := stats.PointwiseDistanceStats(curve, placement.Histogram)
+	if err != nil {
+		return nil, fmt.Errorf("geoloc: fit-quality metrics: %w", err)
+	}
+	components := make([]Component, 0, len(res.Mixture))
+	for _, g := range res.Mixture {
+		components = append(components, Component{
+			Weight:        g.Weight,
+			Offset:        zoneAxisToOffset(g.Mean),
+			NearestOffset: nearestOffset(g.Mean),
+			Sigma:         g.Sigma,
+		})
+	}
+	return &Geolocation{
+		Placement:   placement,
+		Mixture:     res.Mixture,
+		Components:  components,
+		AvgDistance: avg,
+		StdDistance: std,
+		BIC:         res.BIC,
+	}, nil
+}
+
+// zoneAxisToOffset converts a (possibly fractional) zone index on the EM
+// axis to a UTC offset value.
+func zoneAxisToOffset(mean float64) float64 {
+	off := mean + float64(tz.MinOffset)
+	// Wrap into (-12, +12].
+	for off > 12 {
+		off -= tz.HoursPerDay
+	}
+	for off <= -12 {
+		off += tz.HoursPerDay
+	}
+	return off
+}
+
+func nearestOffset(mean float64) tz.Offset {
+	zi := int(mean + 0.5)
+	return profile.OffsetOf(((zi % tz.HoursPerDay) + tz.HoursPerDay) % tz.HoursPerDay)
+}
+
+// MostActiveUsers returns the n users with the most posts, most active
+// first; ties break alphabetically. The paper uses the five most active
+// users of a forum for hemisphere analysis (§V-F).
+func MostActiveUsers(ds *trace.Dataset, n int) []string {
+	counts := ds.PostCounts()
+	users := make([]string, 0, len(counts))
+	for u := range counts {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if counts[users[i]] != counts[users[j]] {
+			return counts[users[i]] > counts[users[j]]
+		}
+		return users[i] < users[j]
+	})
+	if n > len(users) {
+		n = len(users)
+	}
+	return users[:n]
+}

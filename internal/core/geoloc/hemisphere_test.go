@@ -1,0 +1,133 @@
+package geoloc
+
+import (
+	"testing"
+
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+// hemisphereCrowd generates a small crowd in the region with enough yearly
+// activity for seasonal profiles.
+func hemisphereCrowd(t *testing.T, seed int64, code string, users int) *trace.Dataset {
+	t.Helper()
+	region, err := tz.ByCode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.GenerateCrowd(seed, synth.CrowdConfig{
+		Name:   "hemi-" + code,
+		Groups: []synth.Group{{Region: region, Users: users, PostsPerUser: 4000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func classifyAll(t *testing.T, ds *trace.Dataset) map[tz.Hemisphere]int {
+	t.Helper()
+	byUser := ds.ByUser()
+	out := make(map[tz.Hemisphere]int)
+	for _, posts := range byUser {
+		verdict, err := ClassifyHemisphere(posts, HemisphereOptions{})
+		if err != nil {
+			t.Fatalf("classify: %v", err)
+		}
+		out[verdict.Hemisphere]++
+	}
+	return out
+}
+
+func TestHemisphereNorthernCountries(t *testing.T) {
+	// §V-F validation: UK, Germany, Italy users all classify as northern.
+	for i, code := range []string{"uk", "de", "it"} {
+		code := code
+		t.Run(code, func(t *testing.T) {
+			ds := hemisphereCrowd(t, int64(3000+i), code, 5)
+			got := classifyAll(t, ds)
+			if got[tz.HemisphereNorth] < 4 {
+				t.Errorf("%s: %v, want >=4/5 northern", code, got)
+			}
+			if got[tz.HemisphereSouth] > 1 {
+				t.Errorf("%s: %d users misclassified as southern", code, got[tz.HemisphereSouth])
+			}
+		})
+	}
+}
+
+func TestHemisphereBrazilSouthern(t *testing.T) {
+	// §V-F validation: all 5 Brazilian users classify as southern.
+	ds := hemisphereCrowd(t, 3100, "br", 5)
+	got := classifyAll(t, ds)
+	if got[tz.HemisphereSouth] < 4 {
+		t.Errorf("Brazil: %v, want >=4/5 southern", got)
+	}
+	if got[tz.HemisphereNorth] > 1 {
+		t.Errorf("Brazil: %d users misclassified as northern", got[tz.HemisphereNorth])
+	}
+}
+
+func TestHemisphereNoDSTCountry(t *testing.T) {
+	// Japan keeps standard time all year: no DST evidence either way.
+	ds := hemisphereCrowd(t, 3200, "jp", 5)
+	got := classifyAll(t, ds)
+	if got[tz.HemisphereNone] < 3 {
+		t.Errorf("Japan: %v, want >=3/5 none", got)
+	}
+}
+
+func TestClassifyHemisphereThinData(t *testing.T) {
+	ds := hemisphereCrowd(t, 3300, "de", 1)
+	byUser := ds.ByUser()
+	for _, posts := range byUser {
+		// Keep only a handful of posts: classification must refuse.
+		if _, err := ClassifyHemisphere(posts[:5], HemisphereOptions{}); err == nil {
+			t.Error("thin data should fail")
+		}
+	}
+}
+
+func TestClassifyTopUsers(t *testing.T) {
+	ds := hemisphereCrowd(t, 3400, "br", 8)
+	verdicts, err := ClassifyTopUsers(ds, 5, HemisphereOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 5 {
+		t.Fatalf("%d verdicts, want 5", len(verdicts))
+	}
+	south := 0
+	for _, v := range verdicts {
+		if v == nil {
+			continue
+		}
+		if v.Hemisphere == tz.HemisphereSouth {
+			south++
+		}
+	}
+	if south < 4 {
+		t.Errorf("top Brazilian users: %d/5 southern, want >=4", south)
+	}
+	if _, err := ClassifyTopUsers(&trace.Dataset{Name: "empty"}, 5, HemisphereOptions{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestHemisphereVerdictDistances(t *testing.T) {
+	ds := hemisphereCrowd(t, 3500, "de", 1)
+	for _, posts := range ds.ByUser() {
+		v, err := ClassifyHemisphere(posts, HemisphereOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.OctMarPosts == 0 || v.MarOctPosts == 0 {
+			t.Error("seasonal post counts not populated")
+		}
+		if v.DistanceForward >= v.DistanceBackward {
+			t.Errorf("German user: forward distance %g should beat backward %g",
+				v.DistanceForward, v.DistanceBackward)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package profile
+
+import (
+	"fmt"
+
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+// Generic-profile construction (§IV, Fig. 2b). The paper observes that
+// once country crowds are shifted to a common time zone their profiles are
+// nearly identical (Pearson ~ 0.9), so a single "generic profile" built on
+// the whole labelled dataset serves as the reference pattern for *every*
+// time zone: "we can easily build the profile for every region, even those
+// not present in Table I, by just shifting the generic profile".
+
+// RegionResolver maps a ground-truth region code to its tz.Region.
+type RegionResolver func(code string) (tz.Region, error)
+
+// CatalogueResolver resolves codes against the built-in tz catalogue.
+func CatalogueResolver() RegionResolver {
+	return tz.ByCode
+}
+
+// GenericOptions configures BuildGeneric.
+type GenericOptions struct {
+	// MinPosts is the active-user threshold (default 30).
+	MinPosts int
+	// Resolver maps ground-truth codes to regions
+	// (default: the tz catalogue).
+	Resolver RegionResolver
+	// SkipHolidayFilter disables per-region holiday removal.
+	SkipHolidayFilter bool
+}
+
+// GenericResult is the outcome of BuildGeneric.
+type GenericResult struct {
+	// Generic is the local-frame population profile over all users.
+	Generic Profile
+	// PerRegion holds each region's local-frame population profile, keyed
+	// by region code.
+	PerRegion map[string]Profile
+	// UserProfiles holds every active user's local-frame profile.
+	UserProfiles map[string]Profile
+	// ActiveUsers counts active (threshold-surviving) users per region
+	// code — the Table I quantity.
+	ActiveUsers map[string]int
+}
+
+// BuildGeneric builds the generic local-frame profile from a labelled
+// dataset: every user's posts are bucketed by their region's DST-aware
+// local hour, holidays are filtered on the region's calendar, users below
+// the post threshold are dropped, and the surviving profiles are
+// aggregated.
+func BuildGeneric(ds *trace.Dataset, opts GenericOptions) (*GenericResult, error) {
+	if len(ds.GroundTruth) == 0 {
+		return nil, fmt.Errorf("profile: dataset %q has no ground truth labels", ds.Name)
+	}
+	if opts.MinPosts == 0 {
+		opts.MinPosts = DefaultMinPosts
+	}
+	if opts.Resolver == nil {
+		opts.Resolver = CatalogueResolver()
+	}
+
+	// Group users by region code.
+	usersByRegion := make(map[string][]string)
+	for user, code := range ds.GroundTruth {
+		usersByRegion[code] = append(usersByRegion[code], user)
+	}
+
+	res := &GenericResult{
+		PerRegion:    make(map[string]Profile),
+		UserProfiles: make(map[string]Profile),
+		ActiveUsers:  make(map[string]int),
+	}
+	var all []Profile
+	for code, users := range usersByRegion {
+		region, err := opts.Resolver(code)
+		if err != nil {
+			return nil, fmt.Errorf("profile: resolve region for code %q: %w", code, err)
+		}
+		inRegion := make(map[string]bool, len(users))
+		for _, u := range users {
+			inRegion[u] = true
+		}
+		sub := ds.FilterUsers(func(u string) bool { return inRegion[u] })
+		if !opts.SkipHolidayFilter {
+			sub = RemoveHolidays(sub, region)
+		}
+		userProfiles, err := BuildUserProfiles(sub, BuildOptions{
+			MinPosts: opts.MinPosts,
+			HourOf:   LocalHours(region),
+		})
+		if err != nil {
+			continue // region has no active users; skip it
+		}
+		var regionProfiles []Profile
+		for _, id := range SortedUserIDs(userProfiles) {
+			p := userProfiles[id]
+			res.UserProfiles[id] = p
+			regionProfiles = append(regionProfiles, p)
+			all = append(all, p)
+		}
+		regionProfile, err := Aggregate(regionProfiles)
+		if err != nil {
+			continue
+		}
+		res.PerRegion[code] = regionProfile
+		res.ActiveUsers[code] = len(regionProfiles)
+	}
+	generic, err := Aggregate(all)
+	if err != nil {
+		return nil, fmt.Errorf("profile: aggregate generic profile: %w", err)
+	}
+	res.Generic = generic
+	return res, nil
+}
+
+// PolishResult reports the outcome of flat-profile polishing.
+type PolishResult struct {
+	// Kept maps surviving users to their profiles.
+	Kept map[string]Profile
+	// Removed lists the users discarded as flat, in removal order.
+	Removed []string
+	// Iterations is the number of polish passes run.
+	Iterations int
+}
+
+// Polish implements the iterative flat-profile removal of §IV-C: a user is
+// discarded when their profile is closer (under the circular EMD) to the
+// artificial uniform 1/24 profile than to every one of the 24 time-zone
+// reference profiles derived from the generic profile. Because removing
+// users does not change the reference profiles but the paper applies the
+// procedure "in an iterative way to polish all the generic timezone
+// profiles", Polish optionally rebuilds the generic profile from the kept
+// users after each pass when rebuild is true.
+func Polish(profiles map[string]Profile, generic Profile, rebuild bool) (*PolishResult, error) {
+	kept := make(map[string]Profile, len(profiles))
+	for id, p := range profiles {
+		kept[id] = p
+	}
+	res := &PolishResult{}
+	uniform := Uniform()
+
+	const maxIterations = 10
+	for iter := 0; iter < maxIterations; iter++ {
+		res.Iterations = iter + 1
+		zones := ZoneProfiles(generic)
+		var removedThisPass []string
+		for _, id := range SortedUserIDs(kept) {
+			p := kept[id]
+			flat, err := isFlat(p, uniform, zones)
+			if err != nil {
+				return nil, fmt.Errorf("profile: polish user %q: %w", id, err)
+			}
+			if flat {
+				removedThisPass = append(removedThisPass, id)
+			}
+		}
+		for _, id := range removedThisPass {
+			delete(kept, id)
+			res.Removed = append(res.Removed, id)
+		}
+		if len(removedThisPass) == 0 {
+			break
+		}
+		if !rebuild || len(kept) == 0 {
+			break
+		}
+		// Rebuild the generic profile from the kept users, aligning each
+		// user to its best zone so profiles from different zones stack.
+		var aligned []Profile
+		zones = ZoneProfiles(generic)
+		for _, id := range SortedUserIDs(kept) {
+			p := kept[id]
+			best, err := nearestZone(p, zones)
+			if err != nil {
+				return nil, err
+			}
+			aligned = append(aligned, p.ToLocal(OffsetOf(best)))
+		}
+		g, err := Aggregate(aligned)
+		if err != nil {
+			return nil, fmt.Errorf("profile: rebuild generic during polish: %w", err)
+		}
+		generic = g
+	}
+	res.Kept = kept
+	return res, nil
+}
+
+// isFlat reports whether p is EMD-closer to the uniform profile than to
+// every zone profile.
+func isFlat(p, uniform Profile, zones []Profile) (bool, error) {
+	dUniform, err := p.EMD(uniform)
+	if err != nil {
+		return false, err
+	}
+	for _, z := range zones {
+		dz, err := p.EMD(z)
+		if err != nil {
+			return false, err
+		}
+		if dz <= dUniform {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// nearestZone returns the zone index whose reference profile has minimal
+// EMD from p, breaking ties toward the lower index.
+func nearestZone(p Profile, zones []Profile) (int, error) {
+	best := -1
+	bestDist := 0.0
+	for i, z := range zones {
+		d, err := p.EMD(z)
+		if err != nil {
+			return 0, err
+		}
+		if best == -1 || d < bestDist {
+			best = i
+			bestDist = d
+		}
+	}
+	return best, nil
+}

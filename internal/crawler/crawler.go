@@ -1,0 +1,264 @@
+// Package crawler implements the paper's data-collection procedure (§V)
+// against a forum (plain HTTP or hidden service via internal/onion):
+//
+//	"First, we sign up in the forum and write a post in the Welcome or
+//	Spam thread to calculate the offset between the server time (the one
+//	on the post) and UTC. ... once the offset from UTC is known we can
+//	collect the timestamps of the posts in a sound and consistent way."
+//
+// The crawler registers a probe account, posts in the Welcome thread,
+// reads back its own post's displayed timestamp to learn the server-clock
+// offset, then paginates every thread of every board extracting
+// (author, displayed time) pairs and normalizing them to UTC. The output
+// is a trace.Dataset ready for the geolocation pipeline; only author IDs
+// and posting times are retained, as in the paper's ethics statement
+// (§VIII).
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"darkcrowd/internal/forum"
+	"darkcrowd/internal/trace"
+)
+
+// ProbeAuthor is the account name the crawler registers for the clock
+// probe; its posts are excluded from the scraped dataset.
+const ProbeAuthor = "tz-probe-account"
+
+// ErrNoTimestamps is returned when the forum renders posts without
+// timestamps (the §VII countermeasure); use Monitor instead of Scrape.
+var ErrNoTimestamps = errors.New("crawler: forum hides post timestamps (use Monitor)")
+
+// Crawler scrapes one forum.
+type Crawler struct {
+	// HTTPClient performs the requests; wire its transport through an
+	// onion client to scrape a hidden service. Defaults to
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// BaseURL is the forum root, e.g. "http://crdclub4wraumez4.onion".
+	BaseURL string
+	// Clock supplies the crawler's own UTC time for the offset probe.
+	// Defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Result is a completed scrape.
+type Result struct {
+	// Dataset holds the UTC-normalized (author, time) pairs.
+	Dataset *trace.Dataset
+	// ServerOffset is the measured server-clock offset from UTC.
+	ServerOffset time.Duration
+	// Boards, Threads and Pages count what was crawled.
+	Boards, Threads, Pages int
+}
+
+var (
+	boardLinkRe  = regexp.MustCompile(`href="/board\?id=(\d+)"`)
+	threadLinkRe = regexp.MustCompile(`href="/thread\?id=(\d+)"`)
+	postRe       = regexp.MustCompile(`<div class="post" data-id="(\d+)" data-author="([^"]*)"(?: data-time="([^"]*)")?>`)
+	pagesRe      = regexp.MustCompile(`data-pages="(\d+)"`)
+)
+
+func (c *Crawler) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Crawler) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock().UTC()
+	}
+	return time.Now().UTC()
+}
+
+// get fetches a page and returns its body.
+func (c *Crawler) get(path string) (string, error) {
+	resp, err := c.client().Get(c.BaseURL + path)
+	if err != nil {
+		return "", fmt.Errorf("crawler: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("crawler: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("crawler: GET %s: status %d", path, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// MeasureOffset runs the Welcome-thread probe: register, post, read the
+// displayed timestamp of our own post, and compare it to our clock. The
+// offset is rounded to the nearest minute (network latency is well below
+// that).
+func (c *Crawler) MeasureOffset() (time.Duration, error) {
+	// Registration may 409 if a previous probe ran; that is fine.
+	resp, err := c.client().PostForm(c.BaseURL+"/register", url.Values{"name": {ProbeAuthor}})
+	if err != nil {
+		return 0, fmt.Errorf("crawler: register probe: %w", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return 0, fmt.Errorf("crawler: register probe: status %d", resp.StatusCode)
+	}
+
+	welcomeThread, err := c.findWelcomeThread()
+	if err != nil {
+		return 0, err
+	}
+	sent := c.now()
+	resp, err = c.client().PostForm(c.BaseURL+"/reply", url.Values{
+		"thread": {strconv.Itoa(welcomeThread)},
+		"author": {ProbeAuthor},
+		"body":   {"hello from a new member"},
+	})
+	if err != nil {
+		return 0, fmt.Errorf("crawler: probe post: %w", err)
+	}
+	echo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("crawler: read probe echo: %w", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return 0, fmt.Errorf("crawler: probe post: status %d (%s)", resp.StatusCode, echo)
+	}
+	m := postRe.FindStringSubmatch(string(echo))
+	if m == nil {
+		return 0, errors.New("crawler: probe echo carries no post markup")
+	}
+	if m[3] == "" {
+		return 0, ErrNoTimestamps
+	}
+	displayed, err := forum.ParseDisplayedTime(m[3])
+	if err != nil {
+		return 0, err
+	}
+	// Both timestamps are wall clocks; the difference is the server
+	// offset plus network latency.
+	delta := displayed.Sub(time.Date(sent.Year(), sent.Month(), sent.Day(),
+		sent.Hour(), sent.Minute(), sent.Second(), 0, time.UTC))
+	return delta.Round(time.Minute), nil
+}
+
+// findWelcomeThread locates the Welcome thread by scanning boards in
+// order; the forum engine always places it on the first board.
+func (c *Crawler) findWelcomeThread() (int, error) {
+	index, err := c.get("/")
+	if err != nil {
+		return 0, err
+	}
+	boards := boardLinkRe.FindAllStringSubmatch(index, -1)
+	if len(boards) == 0 {
+		return 0, errors.New("crawler: no boards found on index page")
+	}
+	for _, bm := range boards {
+		page, err := c.get("/board?id=" + bm[1])
+		if err != nil {
+			return 0, err
+		}
+		// Look for the Welcome link: threads render as
+		// <a href="/thread?id=N">Title</a>.
+		for _, tm := range regexp.MustCompile(`href="/thread\?id=(\d+)">([^<]+)<`).FindAllStringSubmatch(page, -1) {
+			if strings.EqualFold(html.UnescapeString(tm[2]), forum.WelcomeThreadTitle) {
+				id, err := strconv.Atoi(tm[1])
+				if err != nil {
+					return 0, fmt.Errorf("crawler: bad thread id %q: %w", tm[1], err)
+				}
+				return id, nil
+			}
+		}
+	}
+	return 0, errors.New("crawler: Welcome thread not found")
+}
+
+// Scrape crawls the whole forum: offset probe first, then every page of
+// every thread, normalizing displayed timestamps back to UTC.
+func (c *Crawler) Scrape(datasetName string) (*Result, error) {
+	offset, err := c.MeasureOffset()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Dataset:      &trace.Dataset{Name: datasetName},
+		ServerOffset: offset,
+	}
+
+	index, err := c.get("/")
+	if err != nil {
+		return nil, err
+	}
+	seenThreads := map[string]bool{}
+	for _, bm := range boardLinkRe.FindAllStringSubmatch(index, -1) {
+		res.Boards++
+		boardPage, err := c.get("/board?id=" + bm[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, tm := range threadLinkRe.FindAllStringSubmatch(boardPage, -1) {
+			if seenThreads[tm[1]] {
+				continue
+			}
+			seenThreads[tm[1]] = true
+			res.Threads++
+			if err := c.scrapeThread(tm[1], offset, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// scrapeThread walks every page of one thread.
+func (c *Crawler) scrapeThread(threadID string, offset time.Duration, res *Result) error {
+	for page := 0; ; page++ {
+		body, err := c.get(fmt.Sprintf("/thread?id=%s&page=%d", threadID, page))
+		if err != nil {
+			return err
+		}
+		res.Pages++
+		for _, pm := range postRe.FindAllStringSubmatch(body, -1) {
+			author := html.UnescapeString(pm[2])
+			if author == ProbeAuthor {
+				continue
+			}
+			if pm[3] == "" {
+				return fmt.Errorf("crawler: thread %s page %d: %w", threadID, page, ErrNoTimestamps)
+			}
+			displayed, err := forum.ParseDisplayedTime(pm[3])
+			if err != nil {
+				return fmt.Errorf("crawler: thread %s page %d: %w", threadID, page, err)
+			}
+			utc := displayed.Add(-offset)
+			res.Dataset.Posts = append(res.Dataset.Posts, trace.Post{
+				UserID: author,
+				Time:   utc,
+			})
+		}
+		m := pagesRe.FindStringSubmatch(body)
+		if m == nil {
+			return fmt.Errorf("crawler: thread %s page %d: no page count", threadID, page)
+		}
+		total, err := strconv.Atoi(m[1])
+		if err != nil {
+			return fmt.Errorf("crawler: bad page count %q: %w", m[1], err)
+		}
+		if page >= total-1 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"darkcrowd/internal/core/geoloc"
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/forum"
+	"darkcrowd/internal/onion"
+	"darkcrowd/internal/tz"
+	"darkcrowd/internal/viz"
+)
+
+// addProfileChart attaches an hour-of-day profile figure to a result.
+func (r *Result) addProfileChart(name, title string, p profile.Profile) {
+	r.Charts = append(r.Charts, NamedChart{
+		Name: name,
+		Chart: viz.BarChart{
+			Title:  title,
+			Labels: viz.HourLabels(),
+			Values: p.Slice(),
+			YLabel: "activity probability",
+		},
+	})
+}
+
+// addPlacementChart attaches a placement histogram figure, optionally with
+// the fitted mixture curve overlaid.
+func (r *Result) addPlacementChart(name, title string, hist, overlay []float64) {
+	r.Charts = append(r.Charts, NamedChart{
+		Name: name,
+		Chart: viz.BarChart{
+			Title:   title,
+			Labels:  viz.ZoneLabels(),
+			Values:  append([]float64(nil), hist...),
+			Overlay: append([]float64(nil), overlay...),
+			YLabel:  "crowd share",
+		},
+	})
+}
+
+// barChart renders a 24-bin series as ASCII bars, one line per bin.
+func barChart(labels []string, values []float64, width int) []string {
+	maxVal := 0.0
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	out := make([]string, 0, len(values))
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(width))
+		}
+		out = append(out, fmt.Sprintf("  %-8s %-*s %.4f", labels[i], width, strings.Repeat("#", bar), v))
+	}
+	return out
+}
+
+// hourLabels returns "00h".."23h".
+func hourLabels() []string {
+	out := make([]string, 24)
+	for h := range out {
+		out[h] = fmt.Sprintf("%02dh", h)
+	}
+	return out
+}
+
+// zoneLabels returns "UTC-11".."UTC+12" in zone-index order.
+func zoneLabels() []string {
+	out := make([]string, 0, 24)
+	for _, off := range tz.AllOffsets() {
+		out = append(out, off.String())
+	}
+	return out
+}
+
+// profileChart renders a Profile as an hour-of-day bar chart.
+func profileChart(p profile.Profile) []string {
+	return barChart(hourLabels(), p.Slice(), 40)
+}
+
+// placementChart renders a placement histogram over the 24 zones.
+func placementChart(hist []float64) []string {
+	return barChart(zoneLabels(), hist, 40)
+}
+
+// describeComponents renders GMM components the way the paper discusses
+// them.
+func describeComponents(components []geoloc.Component) []string {
+	out := make([]string, 0, len(components))
+	for i, c := range components {
+		out = append(out, fmt.Sprintf("  component %d: %s", i+1, c))
+	}
+	return out
+}
+
+// hasComponentNear reports whether any component center lies within tol
+// zones of the wanted offset.
+func hasComponentNear(components []geoloc.Component, want float64, tol float64) bool {
+	for _, c := range components {
+		d := c.Offset - want
+		if d < 0 {
+			d = -d
+		}
+		if d > 12 {
+			d = 24 - d
+		}
+		if d <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// onionHTTPServer pairs an http.Server with its hidden-service listener.
+type onionHTTPServer struct {
+	server *http.Server
+}
+
+func newOnionHTTPServer(f *forum.Forum, svc *onion.Service) *onionHTTPServer {
+	s := &http.Server{Handler: f.Handler()}
+	go func() { _ = s.Serve(svc.Listener()) }()
+	return &onionHTTPServer{server: s}
+}
+
+func (s *onionHTTPServer) Close() {
+	_ = s.server.Close()
+}
+
+func newOnionHTTPClient(torClient *onion.Client) *http.Client {
+	return &http.Client{Transport: &http.Transport{DialContext: torClient.DialContext}}
+}

@@ -1,0 +1,136 @@
+package forum
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimestampJitterDeterministic(t *testing.T) {
+	f := New(Config{
+		Name:            "jittered",
+		TimestampJitter: 3 * time.Hour,
+		Clock:           fixedClock(testInstant),
+	})
+	if _, err := f.Register("alice"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.PostNow(f.WelcomeThreadID(), "alice", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := f.displayTimeFor(p)
+	for i := 0; i < 5; i++ {
+		if got := f.displayTimeFor(p); !got.Equal(first) {
+			t.Fatal("jitter differs between renders of the same post")
+		}
+	}
+	// Within bounds.
+	delta := first.Sub(f.DisplayTime(p.At))
+	if delta > 3*time.Hour || delta < -3*time.Hour {
+		t.Errorf("jitter %v exceeds +/-3h", delta)
+	}
+}
+
+func TestTimestampJitterSpread(t *testing.T) {
+	f := New(Config{
+		Name:            "jittered",
+		TimestampJitter: 6 * time.Hour,
+		Clock:           fixedClock(testInstant),
+	})
+	if _, err := f.Register("bob"); err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[time.Time]bool)
+	for i := 0; i < 40; i++ {
+		p, err := f.PostAt(f.WelcomeThreadID(), "bob", "x", testInstant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[f.displayTimeFor(p)] = true
+	}
+	// Same true instant, different post IDs: displayed times must spread.
+	if len(distinct) < 20 {
+		t.Errorf("only %d distinct jittered times out of 40", len(distinct))
+	}
+}
+
+func TestNoJitterByDefault(t *testing.T) {
+	f := newTestForum()
+	if _, err := f.Register("carol"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.PostNow(f.WelcomeThreadID(), "carol", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.displayTimeFor(p).Equal(f.DisplayTime(p.At)) {
+		t.Error("jitter applied despite zero config")
+	}
+}
+
+func TestHideTimestampsRendering(t *testing.T) {
+	f := New(Config{
+		Name:           "hidden",
+		HideTimestamps: true,
+		Clock:          fixedClock(testInstant),
+	})
+	if !f.HidesTimestamps() {
+		t.Fatal("HidesTimestamps() = false")
+	}
+	if _, err := f.Register("dave"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PostNow(f.WelcomeThreadID(), "dave", "secret timing"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/thread?id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	if strings.Contains(s, "data-time=") {
+		t.Errorf("hidden-timestamp forum leaked data-time: %s", s)
+	}
+	if !strings.Contains(s, `data-author="dave"`) || !strings.Contains(s, `data-id="`) {
+		t.Errorf("post markup incomplete: %s", s)
+	}
+}
+
+func TestHideTimestampsReplyEcho(t *testing.T) {
+	f := New(Config{
+		Name:           "hidden",
+		HideTimestamps: true,
+		Clock:          fixedClock(testInstant),
+	})
+	if _, err := f.Register("erin"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := http.PostForm(srv.URL+"/reply", map[string][]string{
+		"thread": {"1"}, "author": {"erin"}, "body": {"probe"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "data-time=") {
+		t.Errorf("reply echo leaked a timestamp: %s", body)
+	}
+}

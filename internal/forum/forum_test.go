@@ -1,0 +1,345 @@
+package forum
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/tz"
+)
+
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+var testInstant = time.Date(2017, time.June, 15, 12, 30, 45, 0, time.UTC)
+
+func newTestForum() *Forum {
+	return New(Config{
+		Name:         "Test Forum",
+		ServerOffset: 3 * time.Hour,
+		PageSize:     5,
+		Clock:        fixedClock(testInstant),
+	})
+}
+
+func TestNewForumHasWelcomeThread(t *testing.T) {
+	f := newTestForum()
+	th, err := f.Thread(f.WelcomeThreadID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Title != WelcomeThreadTitle {
+		t.Errorf("welcome thread title %q", th.Title)
+	}
+	boards := f.Boards()
+	if len(boards) != 1 || boards[0].Name != "Reception" {
+		t.Errorf("boards = %v", boards)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	f := newTestForum()
+	m, err := f.Register("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID == 0 || m.Name != "alice" {
+		t.Errorf("member = %+v", m)
+	}
+	if _, err := f.Register("alice"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := f.Register("  "); err == nil {
+		t.Error("blank name accepted")
+	}
+	got, err := f.MemberByName("alice")
+	if err != nil || got.ID != m.ID {
+		t.Errorf("MemberByName: %+v, %v", got, err)
+	}
+	if _, err := f.MemberByName("nobody"); err == nil {
+		t.Error("missing member lookup should fail")
+	}
+	if f.NumMembers() != 1 {
+		t.Errorf("NumMembers = %d", f.NumMembers())
+	}
+}
+
+func TestPosting(t *testing.T) {
+	f := newTestForum()
+	if _, err := f.Register("bob"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.PostNow(f.WelcomeThreadID(), "bob", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.At.Equal(testInstant) {
+		t.Errorf("post at %v", p.At)
+	}
+	// Errors.
+	if _, err := f.PostNow(999, "bob", "x"); err == nil {
+		t.Error("post to missing thread accepted")
+	}
+	if _, err := f.PostNow(f.WelcomeThreadID(), "ghost", "x"); err == nil {
+		t.Error("post by unregistered member accepted")
+	}
+	if _, err := f.PostNow(f.WelcomeThreadID(), "bob", "  "); err == nil {
+		t.Error("empty body accepted")
+	}
+	if f.NumPosts() != 1 {
+		t.Errorf("NumPosts = %d", f.NumPosts())
+	}
+}
+
+func TestPostOrderingAndPagination(t *testing.T) {
+	f := newTestForum()
+	if _, err := f.Register("carol"); err != nil {
+		t.Fatal(err)
+	}
+	th := f.WelcomeThreadID()
+	// Insert 12 posts out of order.
+	for i := 11; i >= 0; i-- {
+		at := testInstant.Add(time.Duration(i) * time.Minute)
+		if _, err := f.PostAt(th, "carol", "post", at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	posts, pages, err := f.PostsPage(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != 3 { // 12 posts, page size 5
+		t.Errorf("pages = %d, want 3", pages)
+	}
+	if len(posts) != 5 {
+		t.Errorf("page 0 has %d posts", len(posts))
+	}
+	for i := 1; i < len(posts); i++ {
+		if posts[i].At.Before(posts[i-1].At) {
+			t.Error("posts not chronological")
+		}
+	}
+	last, _, err := f.PostsPage(th, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 2 {
+		t.Errorf("last page has %d posts", len(last))
+	}
+	if _, _, err := f.PostsPage(th, 3); err == nil {
+		t.Error("page out of range accepted")
+	}
+	if _, _, err := f.PostsPage(999, 0); err == nil {
+		t.Error("missing thread accepted")
+	}
+}
+
+func TestDisplayTimeOffset(t *testing.T) {
+	f := newTestForum()
+	shown := f.DisplayTime(testInstant)
+	want := testInstant.Add(3 * time.Hour)
+	if !shown.Equal(want) {
+		t.Errorf("DisplayTime = %v, want %v", shown, want)
+	}
+	parsed, err := ParseDisplayedTime(shown.Format(TimeLayout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Hour() != want.Hour() || parsed.Minute() != want.Minute() {
+		t.Errorf("parsed = %v", parsed)
+	}
+	if _, err := ParseDisplayedTime("not a time"); err == nil {
+		t.Error("bad time accepted")
+	}
+}
+
+func TestImportCrowd(t *testing.T) {
+	f := newTestForum()
+	region, err := tz.ByCode("it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.GenerateCrowd(42, synth.CrowdConfig{
+		Name:   "import-test",
+		Groups: []synth.Group{{Region: region, Users: 10, PostsPerUser: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ImportCrowd(ds, ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumMembers() != 10 {
+		t.Errorf("members = %d, want 10", f.NumMembers())
+	}
+	if f.NumPosts() != ds.NumPosts() {
+		t.Errorf("posts = %d, want %d", f.NumPosts(), ds.NumPosts())
+	}
+	// Imported timestamps preserved: spot-check one member's first post.
+	boards := f.Boards()
+	if len(boards) != 4 { // Reception + 3 imported
+		t.Errorf("boards = %d, want 4", len(boards))
+	}
+}
+
+func TestHTTPIndexBoardThread(t *testing.T) {
+	f := newTestForum()
+	if _, err := f.Register("dave"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PostNow(f.WelcomeThreadID(), "dave", "first post"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/")
+	if code != http.StatusOK || !strings.Contains(body, "Test Forum") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	code, body = get("/board?id=1")
+	if code != http.StatusOK || !strings.Contains(body, WelcomeThreadTitle) {
+		t.Errorf("board: %d", code)
+	}
+	code, body = get("/thread?id=1")
+	if code != http.StatusOK {
+		t.Fatalf("thread: %d", code)
+	}
+	if !strings.Contains(body, `data-author="dave"`) {
+		t.Errorf("thread page missing post markup: %s", body)
+	}
+	// Displayed time is server time: 12:30:45 UTC + 3h = 15:30:45.
+	if !strings.Contains(body, "2017-06-15 15:30:45") {
+		t.Errorf("thread page missing offset timestamp: %s", body)
+	}
+
+	// Error paths.
+	if code, _ := get("/board?id=99"); code != http.StatusNotFound {
+		t.Errorf("missing board: %d", code)
+	}
+	if code, _ := get("/thread?id=99"); code != http.StatusNotFound {
+		t.Errorf("missing thread: %d", code)
+	}
+	if code, _ := get("/board?id=x"); code != http.StatusBadRequest {
+		t.Errorf("bad board id: %d", code)
+	}
+	if code, _ := get("/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", code)
+	}
+}
+
+func TestHTTPRegisterAndReply(t *testing.T) {
+	f := newTestForum()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	resp, err := http.PostForm(srv.URL+"/register", url.Values{"name": {"erin"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	// Duplicate.
+	resp, err = http.PostForm(srv.URL+"/register", url.Values{"name": {"erin"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate register: %d", resp.StatusCode)
+	}
+
+	resp, err = http.PostForm(srv.URL+"/reply", url.Values{
+		"thread": {"1"}, "author": {"erin"}, "body": {"probing the clock"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("reply: %d %s", resp.StatusCode, body)
+	}
+	// The echoed markup carries the displayed (offset) timestamp.
+	if !strings.Contains(string(body), `data-time="2017-06-15 15:30:45"`) {
+		t.Errorf("reply echo = %s", body)
+	}
+
+	// GET on POST-only endpoints.
+	resp, err = http.Get(srv.URL + "/reply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET reply: %d", resp.StatusCode)
+	}
+	// Reply by unknown member.
+	resp, err = http.PostForm(srv.URL+"/reply", url.Values{
+		"thread": {"1"}, "author": {"ghost"}, "body": {"x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost reply: %d", resp.StatusCode)
+	}
+}
+
+func TestThreadPaginationLinks(t *testing.T) {
+	f := newTestForum()
+	if _, err := f.Register("frank"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		at := testInstant.Add(time.Duration(i) * time.Minute)
+		if _, err := f.PostAt(f.WelcomeThreadID(), "frank", "p", at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/thread?id=1&page=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(body)
+	if !strings.Contains(s, `class="prev"`) || !strings.Contains(s, `class="next"`) {
+		t.Errorf("page 1 of 3 should link both ways: %s", s)
+	}
+	if !strings.Contains(s, `data-pages="3"`) {
+		t.Errorf("missing page count: %s", s)
+	}
+}

@@ -1,0 +1,223 @@
+package forum
+
+import (
+	"errors"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+)
+
+// HTTP front end. The markup is deliberately simple and regular — real
+// forum engines render server-local timestamps with no zone designator in
+// predictable markup, which is exactly what the paper's scraper consumed.
+// Every post is rendered as:
+//
+//	<div class="post" data-id="N" data-author="NAME" data-time="2006-01-02 15:04:05">
+//
+// so the crawler can extract (author, displayed time) pairs. When the
+// forum hides timestamps (§VII countermeasure) the data-time attribute is
+// omitted and the crawler must fall back to monitor mode.
+
+var pageTemplates = template.Must(template.New("forum").Parse(`
+{{define "index"}}<!DOCTYPE html>
+<html><head><title>{{.Name}}</title></head><body>
+<h1>{{.Name}}</h1>
+<ul class="boards">
+{{range .Boards}}<li><a href="/board?id={{.ID}}">{{.Name}}</a> &mdash; {{.Description}}</li>
+{{end}}</ul>
+</body></html>{{end}}
+
+{{define "board"}}<!DOCTYPE html>
+<html><head><title>{{.Board.Name}}</title></head><body>
+<h1>{{.Board.Name}}</h1>
+<ul class="threads">
+{{range .Threads}}<li><a href="/thread?id={{.ID}}">{{.Title}}</a></li>
+{{end}}</ul>
+<p><a href="/">Back to index</a></p>
+</body></html>{{end}}
+
+{{define "thread"}}<!DOCTYPE html>
+<html><head><title>{{.Thread.Title}}</title></head><body>
+<h1>{{.Thread.Title}}</h1>
+<div class="posts" data-page="{{.Page}}" data-pages="{{.Pages}}">
+{{range .Posts}}<div class="post" data-id="{{.ID}}" data-author="{{.Author}}"{{if .Time}} data-time="{{.Time}}"{{end}}>
+<span class="author">{{.Author}}</span>{{if .Time}} <span class="time">{{.Time}}</span>{{end}}
+<p>{{.Body}}</p>
+</div>
+{{end}}</div>
+{{if .HasPrev}}<a class="prev" href="/thread?id={{.Thread.ID}}&page={{.PrevPage}}">prev</a>{{end}}
+{{if .HasNext}}<a class="next" href="/thread?id={{.Thread.ID}}&page={{.NextPage}}">next</a>{{end}}
+</body></html>{{end}}
+`))
+
+// Handler returns the forum's http.Handler.
+func (f *Forum) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", f.handleIndex)
+	mux.HandleFunc("/board", f.handleBoard)
+	mux.HandleFunc("/thread", f.handleThread)
+	mux.HandleFunc("/register", f.handleRegister)
+	mux.HandleFunc("/reply", f.handleReply)
+	return mux
+}
+
+func (f *Forum) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Name   string
+		Boards []*Board
+	}{Name: f.cfg.Name, Boards: f.Boards()}
+	if err := pageTemplates.ExecuteTemplate(w, "index", data); err != nil {
+		http.Error(w, "template error", http.StatusInternalServerError)
+	}
+}
+
+func (f *Forum) handleBoard(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		http.Error(w, "bad board id", http.StatusBadRequest)
+		return
+	}
+	var board *Board
+	for _, b := range f.Boards() {
+		if b.ID == id {
+			board = b
+			break
+		}
+	}
+	if board == nil {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Board   *Board
+		Threads []*Thread
+	}{Board: board, Threads: f.Threads(id)}
+	if err := pageTemplates.ExecuteTemplate(w, "board", data); err != nil {
+		http.Error(w, "template error", http.StatusInternalServerError)
+	}
+}
+
+// renderedPost is a post with its timestamp already moved to server time
+// (empty when the forum hides timestamps).
+type renderedPost struct {
+	ID     int
+	Author string
+	Time   string
+	Body   string
+}
+
+func (f *Forum) handleThread(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, err := strconv.Atoi(q.Get("id"))
+	if err != nil {
+		http.Error(w, "bad thread id", http.StatusBadRequest)
+		return
+	}
+	page := 0
+	if p := q.Get("page"); p != "" {
+		page, err = strconv.Atoi(p)
+		if err != nil || page < 0 {
+			http.Error(w, "bad page", http.StatusBadRequest)
+			return
+		}
+	}
+	thread, err := f.Thread(id)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	posts, pages, err := f.PostsPage(id, page)
+	if err != nil && !(page == 0 && pages == 0) {
+		http.NotFound(w, r)
+		return
+	}
+	rendered := make([]renderedPost, 0, len(posts))
+	for _, p := range posts {
+		shown := ""
+		if !f.cfg.HideTimestamps {
+			shown = f.displayTimeFor(p).Format(TimeLayout)
+		}
+		rendered = append(rendered, renderedPost{
+			ID:     p.ID,
+			Author: p.Author,
+			Time:   shown,
+			Body:   p.Body,
+		})
+	}
+	data := struct {
+		Thread   *Thread
+		Posts    []renderedPost
+		Page     int
+		Pages    int
+		HasPrev  bool
+		HasNext  bool
+		PrevPage int
+		NextPage int
+	}{
+		Thread: thread, Posts: rendered,
+		Page: page, Pages: pages,
+		HasPrev: page > 0, HasNext: page < pages-1,
+		PrevPage: page - 1, NextPage: page + 1,
+	}
+	if err := pageTemplates.ExecuteTemplate(w, "thread", data); err != nil {
+		http.Error(w, "template error", http.StatusInternalServerError)
+	}
+}
+
+func (f *Forum) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.FormValue("name")
+	m, err := f.Register(name)
+	switch {
+	case errors.Is(err, ErrNameTaken):
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "member %q registered with id %d\n", m.Name, m.ID)
+}
+
+func (f *Forum) handleReply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	threadID, err := strconv.Atoi(r.FormValue("thread"))
+	if err != nil {
+		http.Error(w, "bad thread id", http.StatusBadRequest)
+		return
+	}
+	author := r.FormValue("author")
+	body := r.FormValue("body")
+	post, err := f.PostNow(threadID, author, body)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Echo the created post in the standard post markup so the poster
+	// (and the offset probe) can read back the displayed timestamp.
+	w.WriteHeader(http.StatusCreated)
+	if f.cfg.HideTimestamps {
+		fmt.Fprintf(w, `<div class="post" data-id="%d" data-author="%s"></div>`+"\n",
+			post.ID, template.HTMLEscapeString(post.Author))
+		return
+	}
+	fmt.Fprintf(w, `<div class="post" data-id="%d" data-author="%s" data-time="%s"></div>`+"\n",
+		post.ID, template.HTMLEscapeString(post.Author),
+		f.displayTimeFor(post).Format(TimeLayout))
+}

@@ -1,0 +1,264 @@
+package onion
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CellCommand is the link-level cell type exchanged between adjacent nodes.
+type CellCommand uint8
+
+// Link-level commands, mirroring Tor's create/created/relay/destroy.
+const (
+	CmdCreate CellCommand = iota + 1
+	CmdCreated
+	CmdRelay
+	CmdDestroy
+)
+
+// String implements fmt.Stringer.
+func (c CellCommand) String() string {
+	switch c {
+	case CmdCreate:
+		return "CREATE"
+	case CmdCreated:
+		return "CREATED"
+	case CmdRelay:
+		return "RELAY"
+	case CmdDestroy:
+		return "DESTROY"
+	default:
+		return fmt.Sprintf("CellCommand(%d)", uint8(c))
+	}
+}
+
+// Cell is the unit of transfer on a link between two adjacent nodes.
+type Cell struct {
+	// Circ identifies the circuit on the link.
+	Circ uint32
+	// Cmd is the link-level command.
+	Cmd CellCommand
+	// From is the node ID of the sender (the simulated TCP peer).
+	From string
+	// Payload is the command body; for CmdRelay it is onion-encrypted.
+	Payload []byte
+}
+
+// relayCommand is the command of a decrypted relay cell.
+type relayCommand uint8
+
+// Relay-level commands, mirroring Tor's relay cell types plus the
+// hidden-service sub-protocol (§II-B of the paper).
+const (
+	relayExtend relayCommand = iota + 1
+	relayExtended
+	relayBegin
+	relayConnected
+	relayData
+	relayEnd
+	relayEstablishIntro
+	relayIntroEstablished
+	relayIntroduce1
+	relayIntroduceAck
+	relayIntroduce2
+	relayEstablishRendezvous
+	relayRendezvousEstablished
+	relayRendezvous1
+	relayRendezvous2
+	relayTruncated
+)
+
+// String implements fmt.Stringer.
+func (c relayCommand) String() string {
+	names := map[relayCommand]string{
+		relayExtend:                "EXTEND",
+		relayExtended:              "EXTENDED",
+		relayBegin:                 "BEGIN",
+		relayConnected:             "CONNECTED",
+		relayData:                  "DATA",
+		relayEnd:                   "END",
+		relayEstablishIntro:        "ESTABLISH_INTRO",
+		relayIntroEstablished:      "INTRO_ESTABLISHED",
+		relayIntroduce1:            "INTRODUCE1",
+		relayIntroduceAck:          "INTRODUCE_ACK",
+		relayIntroduce2:            "INTRODUCE2",
+		relayEstablishRendezvous:   "ESTABLISH_RENDEZVOUS",
+		relayRendezvousEstablished: "RENDEZVOUS_ESTABLISHED",
+		relayRendezvous1:           "RENDEZVOUS1",
+		relayRendezvous2:           "RENDEZVOUS2",
+		relayTruncated:             "TRUNCATED",
+	}
+	if n, ok := names[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("relayCommand(%d)", uint8(c))
+}
+
+// relayMsg is the plaintext content of a relay cell once all onion layers
+// are removed: a command, a stream ID (0 for circuit-level commands) and a
+// body.
+type relayMsg struct {
+	Cmd    relayCommand
+	Stream uint16
+	Body   []byte
+}
+
+// flag bytes marking whether a layer is final (addressed to the unwrapping
+// node) or must be forwarded another hop.
+const (
+	flagForward byte = 0
+	flagFinal   byte = 1
+)
+
+// errTruncatedMessage reports a malformed wire structure.
+var errTruncatedMessage = errors.New("onion: truncated message")
+
+// encodeRelayMsg serializes a relay message: cmd(1) stream(2) len(4) body.
+func encodeRelayMsg(m relayMsg) []byte {
+	out := make([]byte, 7+len(m.Body))
+	out[0] = byte(m.Cmd)
+	binary.BigEndian.PutUint16(out[1:3], m.Stream)
+	binary.BigEndian.PutUint32(out[3:7], uint32(len(m.Body)))
+	copy(out[7:], m.Body)
+	return out
+}
+
+// decodeRelayMsg parses a serialized relay message.
+func decodeRelayMsg(b []byte) (relayMsg, error) {
+	if len(b) < 7 {
+		return relayMsg{}, errTruncatedMessage
+	}
+	n := binary.BigEndian.Uint32(b[3:7])
+	if uint32(len(b)-7) < n {
+		return relayMsg{}, errTruncatedMessage
+	}
+	return relayMsg{
+		Cmd:    relayCommand(b[0]),
+		Stream: binary.BigEndian.Uint16(b[1:3]),
+		Body:   b[7 : 7+n],
+	}, nil
+}
+
+// writeString appends a length-prefixed string.
+func writeString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// readString consumes a length-prefixed string, returning it and the rest.
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errTruncatedMessage
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b)-2 < n {
+		return "", nil, errTruncatedMessage
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// writeBytes appends a length-prefixed byte slice.
+func writeBytes(buf, data []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(data)))
+	return append(buf, data...)
+}
+
+// readBytes consumes a length-prefixed byte slice.
+func readBytes(b []byte) ([]byte, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, errTruncatedMessage
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b)-2 < n {
+		return nil, nil, errTruncatedMessage
+	}
+	out := make([]byte, n)
+	copy(out, b[2:2+n])
+	return out, b[2+n:], nil
+}
+
+// extendPayload is the body of a relayExtend message.
+type extendPayload struct {
+	Target    string // relay ID to extend the circuit to
+	ClientPub []byte // client's ephemeral public key for the new hop
+}
+
+func encodeExtend(p extendPayload) []byte {
+	buf := writeString(nil, p.Target)
+	return writeBytes(buf, p.ClientPub)
+}
+
+func decodeExtend(b []byte) (extendPayload, error) {
+	target, rest, err := readString(b)
+	if err != nil {
+		return extendPayload{}, fmt.Errorf("onion: decode extend target: %w", err)
+	}
+	pub, _, err := readBytes(rest)
+	if err != nil {
+		return extendPayload{}, fmt.Errorf("onion: decode extend pubkey: %w", err)
+	}
+	return extendPayload{Target: target, ClientPub: pub}, nil
+}
+
+// introduce1Payload is the body of a relayIntroduce1 message: which service
+// is wanted, where it should rendezvous, and the client's ephemeral key for
+// the end-to-end handshake (so the rendezvous point relays only ciphertext).
+type introduce1Payload struct {
+	Onion           string // target hidden-service address
+	RendezvousPoint string // relay ID of the client-chosen rendezvous point
+	Cookie          []byte // rendezvous cookie
+	ClientPub       []byte // client's ephemeral X25519 key for e2e crypto
+}
+
+func encodeIntroduce1(p introduce1Payload) []byte {
+	buf := writeString(nil, p.Onion)
+	buf = writeString(buf, p.RendezvousPoint)
+	buf = writeBytes(buf, p.Cookie)
+	return writeBytes(buf, p.ClientPub)
+}
+
+func decodeIntroduce1(b []byte) (introduce1Payload, error) {
+	onion, rest, err := readString(b)
+	if err != nil {
+		return introduce1Payload{}, fmt.Errorf("onion: decode introduce1 onion: %w", err)
+	}
+	rp, rest, err := readString(rest)
+	if err != nil {
+		return introduce1Payload{}, fmt.Errorf("onion: decode introduce1 rendezvous point: %w", err)
+	}
+	cookie, rest, err := readBytes(rest)
+	if err != nil {
+		return introduce1Payload{}, fmt.Errorf("onion: decode introduce1 cookie: %w", err)
+	}
+	clientPub, _, err := readBytes(rest)
+	if err != nil {
+		return introduce1Payload{}, fmt.Errorf("onion: decode introduce1 client key: %w", err)
+	}
+	return introduce1Payload{Onion: onion, RendezvousPoint: rp, Cookie: cookie, ClientPub: clientPub}, nil
+}
+
+// rendezvous1Payload is the body of a relayRendezvous1 message: the cookie
+// identifying the parked client circuit plus the service's ephemeral key,
+// which the rendezvous point copies verbatim into RENDEZVOUS2.
+type rendezvous1Payload struct {
+	Cookie     []byte
+	ServicePub []byte
+}
+
+func encodeRendezvous1(p rendezvous1Payload) []byte {
+	buf := writeBytes(nil, p.Cookie)
+	return writeBytes(buf, p.ServicePub)
+}
+
+func decodeRendezvous1(b []byte) (rendezvous1Payload, error) {
+	cookie, rest, err := readBytes(b)
+	if err != nil {
+		return rendezvous1Payload{}, fmt.Errorf("onion: decode rendezvous1 cookie: %w", err)
+	}
+	pub, _, err := readBytes(rest)
+	if err != nil {
+		return rendezvous1Payload{}, fmt.Errorf("onion: decode rendezvous1 service key: %w", err)
+	}
+	return rendezvous1Payload{Cookie: cookie, ServicePub: pub}, nil
+}

@@ -1,0 +1,447 @@
+package onion
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Client is a Tor user: it builds three-hop circuits, fetches hidden-
+// service descriptors, runs the rendezvous protocol and exposes ordinary
+// net.Conn dialing to both hidden services and registered external
+// destinations (§II-A/B).
+type Client struct {
+	ep *endpoint
+
+	mu sync.Mutex
+	// rendCircs caches one joined rendezvous circuit per onion address so
+	// that multiple connections reuse it, like Tor reuses circuits.
+	rendCircs map[string]*circuit
+	// exitCircs caches one general-purpose exit circuit for external
+	// destinations.
+	exitCirc *circuit
+	closed   bool
+	// bridge, when set, replaces the directory-picked guard on every
+	// circuit.
+	bridge string
+	// guard is the client's persistent entry relay (§II-A: "the guard is
+	// the only relay that communicates with the user"); picked lazily on
+	// the first circuit and reused for every later one.
+	guard string
+}
+
+// NewClient attaches a client with the given identifier to the network.
+func NewClient(n *Network, id string) (*Client, error) {
+	ep, err := newEndpoint(n, id)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ep: ep, rendCircs: make(map[string]*circuit)}, nil
+}
+
+// NewClientWithBridge attaches a client that enters the network through an
+// unlisted bridge relay instead of a directory guard (§II-A). All of the
+// client's circuits use the bridge as their first hop.
+func NewClientWithBridge(n *Network, id, bridge string) (*Client, error) {
+	c, err := NewClient(n, id)
+	if err != nil {
+		return nil, err
+	}
+	c.bridge = bridge
+	return c, nil
+}
+
+// Close tears down the client's circuits and detaches it.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.ep.stop()
+}
+
+// FetchDescriptor looks a hidden service up through its responsible
+// HSDirs, verifying the signature.
+func (c *Client) FetchDescriptor(onion string) (*Descriptor, error) {
+	dirs, err := c.ep.net.directory.HSDirs(onion, hsDirReplicas)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, dir := range dirs {
+		c.ep.net.mu.RLock()
+		nd := c.ep.net.nodes[dir]
+		c.ep.net.mu.RUnlock()
+		relay, ok := nd.(*Relay)
+		if !ok {
+			continue
+		}
+		desc, err := relay.FetchDescriptor(onion)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := desc.Verify(); err != nil {
+			lastErr = err
+			continue
+		}
+		return desc, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("onion: no HSDir holds %q", onion)
+	}
+	return nil, lastErr
+}
+
+// Dial connects to an address: a ".onion" hostname is reached via the
+// rendezvous protocol, anything else through an exit circuit to a
+// registered external destination. Port suffixes are accepted and ignored
+// (the simulated fabric has no ports).
+func (c *Client) Dial(address string) (net.Conn, error) {
+	host := address
+	if h, _, err := net.SplitHostPort(address); err == nil {
+		host = h
+	}
+	if strings.HasSuffix(host, OnionSuffix) {
+		return c.dialOnion(host)
+	}
+	return c.dialExternal(host)
+}
+
+// DialContext adapts Dial for http.Transport.
+func (c *Client) DialContext(ctx context.Context, _, address string) (net.Conn, error) {
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := c.Dial(address)
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// dialOnion reaches a hidden service: descriptor fetch, rendezvous
+// establishment, introduction, then a stream on the joined circuit.
+func (c *Client) dialOnion(onion string) (net.Conn, error) {
+	circ, err := c.rendezvousCircuit(onion)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := circ.allocStream()
+	if err != nil {
+		// The cached circuit may have died; rebuild once.
+		c.mu.Lock()
+		if c.rendCircs[onion] == circ {
+			delete(c.rendCircs, onion)
+		}
+		c.mu.Unlock()
+		circ, err = c.rendezvousCircuit(onion)
+		if err != nil {
+			return nil, err
+		}
+		stream, err = circ.allocStream()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := circ.sendForward(relayMsg{Cmd: relayBegin, Stream: stream.id}); err != nil {
+		stream.remoteClose()
+		return nil, err
+	}
+	if err := stream.waitConnected(c.ep.net.controlDeadline()); err != nil {
+		stream.remoteClose()
+		return nil, err
+	}
+	return stream, nil
+}
+
+// rendezvousCircuit returns (building if needed) the joined rendezvous
+// circuit for an onion address.
+func (c *Client) rendezvousCircuit(onion string) (*circuit, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("onion: client closed")
+	}
+	if circ, ok := c.rendCircs[onion]; ok {
+		c.mu.Unlock()
+		return circ, nil
+	}
+	c.mu.Unlock()
+
+	desc, err := c.FetchDescriptor(onion)
+	if err != nil {
+		return nil, err
+	}
+	if len(desc.IntroPoints) == 0 {
+		return nil, fmt.Errorf("onion: descriptor for %q lists no introduction points", onion)
+	}
+
+	// Choose and establish the rendezvous point.
+	rpPick, err := c.ep.net.PickRelays(1)
+	if err != nil {
+		return nil, err
+	}
+	rp := rpPick[0]
+	rendPath, err := c.circuitPathTo(rp)
+	if err != nil {
+		return nil, err
+	}
+	rendCirc, err := c.ep.buildCircuit(rendPath)
+	if err != nil {
+		return nil, fmt.Errorf("onion: rendezvous circuit: %w", err)
+	}
+	cookie, err := newCookie()
+	if err != nil {
+		rendCirc.teardown()
+		return nil, err
+	}
+	if err := rendCirc.sendForward(relayMsg{Cmd: relayEstablishRendezvous, Body: writeBytes(nil, cookie)}); err != nil {
+		rendCirc.teardown()
+		return nil, err
+	}
+	if _, err := rendCirc.waitControl(relayRendezvousEstablished); err != nil {
+		rendCirc.teardown()
+		return nil, fmt.Errorf("onion: establish rendezvous at %s: %w", rp, err)
+	}
+
+	// Introduce ourselves through one of the service's intro points,
+	// carrying an ephemeral key for the end-to-end handshake.
+	e2eKey, err := newKeyPair()
+	if err != nil {
+		rendCirc.teardown()
+		return nil, err
+	}
+	intro := desc.IntroPoints[0]
+	introPath, err := c.circuitPathTo(intro, rp)
+	if err != nil {
+		rendCirc.teardown()
+		return nil, err
+	}
+	introCirc, err := c.ep.buildCircuit(introPath)
+	if err != nil {
+		rendCirc.teardown()
+		return nil, fmt.Errorf("onion: introduction circuit: %w", err)
+	}
+	body := encodeIntroduce1(introduce1Payload{
+		Onion:           onion,
+		RendezvousPoint: rp,
+		Cookie:          cookie,
+		ClientPub:       e2eKey.pub,
+	})
+	if err := introCirc.sendForward(relayMsg{Cmd: relayIntroduce1, Body: body}); err != nil {
+		introCirc.teardown()
+		rendCirc.teardown()
+		return nil, err
+	}
+	if _, err := introCirc.waitControl(relayIntroduceAck); err != nil {
+		introCirc.teardown()
+		rendCirc.teardown()
+		return nil, fmt.Errorf("onion: introduce to %s: %w", onion, err)
+	}
+	// The introduction circuit has served its purpose.
+	introCirc.teardown()
+
+	// Wait for the service to join us at the rendezvous point; its reply
+	// carries the service's ephemeral key, completing the end-to-end
+	// handshake.
+	reply, err := rendCirc.waitControl(relayRendezvous2)
+	if err != nil {
+		rendCirc.teardown()
+		return nil, fmt.Errorf("onion: rendezvous with %s: %w", onion, err)
+	}
+	e2eKeys, err := deriveHopKeys(e2eKey.priv, reply.Body)
+	if err != nil {
+		rendCirc.teardown()
+		return nil, fmt.Errorf("onion: end-to-end handshake with %s: %w", onion, err)
+	}
+	rendCirc.setE2E(e2eKeys, true)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		rendCirc.teardown()
+		return nil, errors.New("onion: client closed")
+	}
+	if existing, ok := c.rendCircs[onion]; ok {
+		rendCirc.teardown()
+		return existing, nil
+	}
+	c.rendCircs[onion] = rendCirc
+	return rendCirc, nil
+}
+
+// entryRelay returns the client's persistent first hop: the configured
+// bridge if any, otherwise a directory guard picked once and kept.
+func (c *Client) entryRelay(exclude ...string) (string, error) {
+	if c.bridge != "" {
+		return c.bridge, nil
+	}
+	c.mu.Lock()
+	guard := c.guard
+	c.mu.Unlock()
+	skip := map[string]bool{}
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	if guard != "" && !skip[guard] {
+		return guard, nil
+	}
+	pick, err := c.ep.net.PickRelays(1, exclude...)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	if c.guard == "" {
+		c.guard = pick[0]
+	}
+	c.mu.Unlock()
+	return pick[0], nil
+}
+
+// circuitPath builds a k-hop path entering through the client's persistent
+// guard (or bridge), with the remaining hops picked from the directory.
+func (c *Client) circuitPath(k int, exclude ...string) ([]string, error) {
+	entry, err := c.entryRelay(exclude...)
+	if err != nil {
+		return nil, err
+	}
+	if k == 1 {
+		return []string{entry}, nil
+	}
+	rest, err := c.ep.net.PickRelays(k-1, append(exclude, entry)...)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string{entry}, rest...), nil
+}
+
+// circuitPathTo builds a 3-hop path ending at a specific relay.
+func (c *Client) circuitPathTo(target string, exclude ...string) ([]string, error) {
+	lead, err := c.circuitPath(2, append(exclude, target)...)
+	if err != nil {
+		return nil, err
+	}
+	return append(lead, target), nil
+}
+
+// dialExternal opens a stream through a three-hop exit circuit to a
+// registered external destination. A dead cached circuit (e.g. a relay on
+// it went away) is torn down, the guard is re-evaluated, and the dial is
+// retried once on a fresh circuit.
+func (c *Client) dialExternal(host string) (net.Conn, error) {
+	conn, err := c.dialExternalOnce(host)
+	if err == nil {
+		return conn, nil
+	}
+	// Retry on a fresh circuit: drop the cached circuit and, if the
+	// guard itself died, let entryRelay pick a new one.
+	c.mu.Lock()
+	broken := c.exitCirc
+	c.exitCirc = nil
+	guard := c.guard
+	c.mu.Unlock()
+	if broken != nil {
+		broken.teardown()
+	}
+	if guard != "" && !c.relayAlive(guard) {
+		c.mu.Lock()
+		c.guard = ""
+		c.mu.Unlock()
+	}
+	conn, retryErr := c.dialExternalOnce(host)
+	if retryErr != nil {
+		return nil, fmt.Errorf("onion: dial %q failed and retry failed (%v): %w", host, retryErr, err)
+	}
+	return conn, nil
+}
+
+// relayAlive reports whether a relay is still attached to the fabric.
+func (c *Client) relayAlive(id string) bool {
+	c.ep.net.mu.RLock()
+	defer c.ep.net.mu.RUnlock()
+	_, ok := c.ep.net.nodes[id]
+	return ok
+}
+
+func (c *Client) dialExternalOnce(host string) (net.Conn, error) {
+	circ, err := c.exitCircuit()
+	if err != nil {
+		return nil, err
+	}
+	stream, err := circ.allocStream()
+	if err != nil {
+		return nil, err
+	}
+	if err := circ.sendForward(relayMsg{Cmd: relayBegin, Stream: stream.id, Body: writeString(nil, host)}); err != nil {
+		stream.remoteClose()
+		return nil, err
+	}
+	if err := stream.waitConnected(c.ep.net.controlDeadline()); err != nil {
+		stream.remoteClose()
+		return nil, fmt.Errorf("onion: begin to %q: %w", host, err)
+	}
+	return stream, nil
+}
+
+// exitCircuit returns (building if needed) the client's general-purpose
+// three-hop circuit.
+func (c *Client) exitCircuit() (*circuit, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("onion: client closed")
+	}
+	if c.exitCirc != nil {
+		circ := c.exitCirc
+		c.mu.Unlock()
+		return circ, nil
+	}
+	c.mu.Unlock()
+
+	path, err := c.circuitPath(3)
+	if err != nil {
+		return nil, err
+	}
+	circ, err := c.ep.buildCircuit(path)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.exitCirc != nil {
+		circ.teardown()
+		return c.exitCirc, nil
+	}
+	c.exitCirc = circ
+	return circ, nil
+}
+
+// Path returns the relay IDs of the client's current exit circuit, building
+// one if absent — used by tests and examples to show the three-hop path.
+func (c *Client) Path() ([]string, error) {
+	circ, err := c.exitCircuit()
+	if err != nil {
+		return nil, err
+	}
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	out := make([]string, 0, len(circ.hops))
+	for _, h := range circ.hops {
+		out = append(out, h.relay)
+	}
+	return out, nil
+}

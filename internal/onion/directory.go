@@ -1,0 +1,167 @@
+package onion
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/base32"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OnionSuffix is the hidden-service top-level domain.
+const OnionSuffix = ".onion"
+
+// onionBase32 encodes addresses the way Tor v2 did: lowercase base32, 16
+// characters derived from the service's public key (§II-B: "their host name
+// consists of a string of 16 characters derived from the service's public
+// key").
+var onionBase32 = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// OnionAddress derives the .onion hostname from an Ed25519 identity key.
+func OnionAddress(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return strings.ToLower(onionBase32.EncodeToString(sum[:10])) + OnionSuffix
+}
+
+// Descriptor is a hidden-service descriptor: "all the information useful to
+// allow the client to know the introduction point of the hidden services"
+// (§II-B). It is signed by the service's identity key.
+type Descriptor struct {
+	// Onion is the service's .onion address.
+	Onion string
+	// IntroPoints lists the relay IDs acting as introduction points.
+	IntroPoints []string
+	// PublicKey is the service's Ed25519 identity key.
+	PublicKey ed25519.PublicKey
+	// Signature covers the address and intro points.
+	Signature []byte
+}
+
+// descriptorDigest is the byte string the descriptor signature covers.
+func descriptorDigest(onion string, intros []string) []byte {
+	h := sha256.New()
+	h.Write([]byte(onion))
+	for _, ip := range intros {
+		h.Write([]byte{0})
+		h.Write([]byte(ip))
+	}
+	return h.Sum(nil)
+}
+
+// Sign populates the descriptor signature with the service's private key.
+func (d *Descriptor) Sign(priv ed25519.PrivateKey) {
+	d.Signature = ed25519.Sign(priv, descriptorDigest(d.Onion, d.IntroPoints))
+}
+
+// Verify checks the descriptor's signature and that the address matches the
+// embedded public key.
+func (d *Descriptor) Verify() error {
+	if len(d.PublicKey) != ed25519.PublicKeySize {
+		return errors.New("onion: descriptor has no valid public key")
+	}
+	if OnionAddress(d.PublicKey) != d.Onion {
+		return fmt.Errorf("onion: descriptor address %q does not match its key", d.Onion)
+	}
+	if !ed25519.Verify(d.PublicKey, descriptorDigest(d.Onion, d.IntroPoints), d.Signature) {
+		return errors.New("onion: descriptor signature invalid")
+	}
+	return nil
+}
+
+// clone returns a deep copy so callers cannot mutate stored descriptors.
+func (d *Descriptor) clone() *Descriptor {
+	out := &Descriptor{
+		Onion:       d.Onion,
+		IntroPoints: append([]string(nil), d.IntroPoints...),
+		PublicKey:   append(ed25519.PublicKey(nil), d.PublicKey...),
+		Signature:   append([]byte(nil), d.Signature...),
+	}
+	return out
+}
+
+// Directory is the network's directory authority: it tracks the relay
+// roster and decides which relays act as hidden-service directories for
+// each onion address. (In real Tor the HSDir set is a DHT ring over relay
+// fingerprints; the ring walk below mimics that.)
+type Directory struct {
+	mu     sync.RWMutex
+	relays []string // sorted relay IDs
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{}
+}
+
+// AddRelay registers a relay ID.
+func (d *Directory) AddRelay(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := sort.SearchStrings(d.relays, id)
+	if i < len(d.relays) && d.relays[i] == id {
+		return
+	}
+	d.relays = append(d.relays, "")
+	copy(d.relays[i+1:], d.relays[i:])
+	d.relays[i] = id
+}
+
+// RemoveRelay deregisters a relay ID.
+func (d *Directory) RemoveRelay(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := sort.SearchStrings(d.relays, id)
+	if i < len(d.relays) && d.relays[i] == id {
+		d.relays = append(d.relays[:i], d.relays[i+1:]...)
+	}
+}
+
+// Relays returns the sorted relay roster.
+func (d *Directory) Relays() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.relays...)
+}
+
+// NumRelays returns the roster size.
+func (d *Directory) NumRelays() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.relays)
+}
+
+// HSDirs returns the n relays responsible for an onion address: the ring
+// successors of the address hash over the sorted relay roster.
+func (d *Directory) HSDirs(onion string, n int) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.relays) == 0 {
+		return nil, errors.New("onion: directory has no relays")
+	}
+	if n > len(d.relays) {
+		n = len(d.relays)
+	}
+	// Walk the ring of relays ordered by fingerprint hash, starting at
+	// the successor of the address hash.
+	type ringEntry struct {
+		hash string
+		id   string
+	}
+	ring := make([]ringEntry, 0, len(d.relays))
+	for _, id := range d.relays {
+		sum := sha256.Sum256([]byte(id))
+		ring = append(ring, ringEntry{hash: fmt.Sprintf("%x", sum[:8]), id: id})
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	sum := sha256.Sum256([]byte(onion))
+	key := fmt.Sprintf("%x", sum[:8])
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= key })
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ring[(start+i)%len(ring)].id)
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+package onion
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRendezvousPointSeesOnlyCiphertext models a curious rendezvous point:
+// every relay records the DATA bodies it splices, and none of them may
+// contain the plaintext exchanged between client and hidden service.
+func TestRendezvousPointSeesOnlyCiphertext(t *testing.T) {
+	n := newTestNetwork(t, 8)
+
+	var mu sync.Mutex
+	var observed [][]byte
+	for _, id := range n.Directory().Relays() {
+		n.mu.RLock()
+		nd := n.nodes[id]
+		n.mu.RUnlock()
+		relay, ok := nd.(*Relay)
+		if !ok {
+			t.Fatalf("node %s is not a relay", id)
+		}
+		relay.SetSpliceObserver(func(body []byte) {
+			mu.Lock()
+			observed = append(observed, body)
+			mu.Unlock()
+		})
+	}
+
+	svc, err := HostService(n, "private-svc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+
+	client, err := NewClient(n, "privacy-seeker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	secret := []byte("the secret plaintext nobody in the middle may read")
+	if _, err := conn.Write(secret); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(secret))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, secret) {
+		t.Fatalf("echo corrupted: %q", buf)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(observed) == 0 {
+		t.Fatal("rendezvous point observed no spliced data — splice path not exercised")
+	}
+	for i, body := range observed {
+		if bytes.Contains(body, secret) || bytes.Contains(body, []byte("secret plaintext")) {
+			t.Fatalf("spliced body %d contains plaintext", i)
+		}
+	}
+}
+
+// TestE2ETamperingDetected flips a bit in a spliced DATA body: the
+// receiving endpoint must drop the chunk instead of delivering garbage.
+func TestE2ETamperingDetected(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	for _, id := range n.Directory().Relays() {
+		n.mu.RLock()
+		nd := n.nodes[id]
+		n.mu.RUnlock()
+		relay, ok := nd.(*Relay)
+		if !ok {
+			continue
+		}
+		relay.SetSpliceObserver(func(body []byte) {
+			// Observers receive copies; tampering is exercised at the
+			// crypto layer below instead.
+			_ = body
+		})
+	}
+
+	// Direct crypto-level check: a sealed e2e chunk with a flipped bit
+	// must not open.
+	a, err := newKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := deriveHopKeys(a.priv, b.pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := deriveHopKeys(b.priv, a.pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := sealLayer(ka.fwdEnc, ka.fwdMAC, []byte("stream chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver opens fine.
+	if _, err := openLayer(kb.fwdEnc, kb.fwdMAC, sealed); err != nil {
+		t.Fatalf("honest open: %v", err)
+	}
+	sealed[len(sealed)-1] ^= 1
+	if _, err := openLayer(kb.fwdEnc, kb.fwdMAC, sealed); err == nil {
+		t.Fatal("tampered e2e chunk accepted")
+	}
+}
+
+// TestE2EKeysPresent asserts both ends of a rendezvous circuit derive the
+// end-to-end keys.
+func TestE2EKeysPresent(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "keyed-svc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	client, err := NewClient(n, "keyed-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	client.mu.Lock()
+	circ := client.rendCircs[svc.Onion()]
+	client.mu.Unlock()
+	if circ == nil {
+		t.Fatal("no cached rendezvous circuit")
+	}
+	circ.mu.Lock()
+	hasKeys := circ.e2e != nil
+	isClient := circ.e2eClient
+	circ.mu.Unlock()
+	if !hasKeys || !isClient {
+		t.Errorf("client circuit e2e: keys=%v isClient=%v", hasKeys, isClient)
+	}
+
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if len(svc.rendCircs) == 0 {
+		t.Fatal("service holds no rendezvous circuits")
+	}
+	for _, sc := range svc.rendCircs {
+		sc.mu.Lock()
+		if sc.e2e == nil || sc.e2eClient {
+			t.Errorf("service circuit e2e: keys=%v isClient=%v", sc.e2e != nil, sc.e2eClient)
+		}
+		sc.mu.Unlock()
+	}
+}
+
+func TestStreamDeadlines(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "slow-svc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn // never written to: reads must time out
+		}
+	}()
+	client, err := NewClient(n, "deadline-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	start := time.Now()
+	_, err = conn.Read(buf)
+	if err == nil {
+		t.Fatal("read with no data should time out")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("error %v is not a timeout net.Error", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("deadline not honoured promptly")
+	}
+	// Past deadline on write.
+	if err := conn.SetWriteDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("late")); err == nil {
+		t.Error("write past deadline accepted")
+	}
+	// Clearing deadlines restores operation.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Errorf("write after clearing deadline: %v", err)
+	}
+	// Addresses are populated.
+	if conn.LocalAddr().String() == "" || conn.RemoteAddr().String() == "" {
+		t.Error("empty stream addresses")
+	}
+	if conn.LocalAddr().Network() != "onion" {
+		t.Errorf("network = %q", conn.LocalAddr().Network())
+	}
+	// Drain the accepted conn to keep goroutines tidy.
+	select {
+	case sc := <-accepted:
+		sc.Close()
+	default:
+	}
+}
+
+func TestServiceCloseIdempotent(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "closing", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	svc.Close() // second close is a no-op
+	// Dialing a closed service times out or errors.
+	n.SetControlTimeout(300 * time.Millisecond)
+	client, err := NewClient(n, "late-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Dial(svc.Onion()); err == nil {
+		t.Error("dial to closed service should fail")
+	}
+}

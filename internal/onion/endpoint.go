@@ -1,0 +1,468 @@
+package onion
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// controlTimeout bounds every circuit-level round trip.
+const controlTimeout = 10 * time.Second
+
+// hop is the originator's record of one relay on a circuit.
+type hop struct {
+	relay string
+	keys  *hopKeys
+}
+
+// circuit is an originator-side circuit: the originator holds the keys of
+// every hop and wraps/unwraps all onion layers.
+type circuit struct {
+	id uint32
+	ep *endpoint
+
+	mu      sync.Mutex
+	hops    []hop
+	streams map[uint16]*Stream
+	nextStr uint16
+	closed  bool
+
+	// control receives circuit-level replies (EXTENDED, CONNECTED,
+	// INTRO_ESTABLISHED, ...), tagged with the originating hop index.
+	control chan relayMsg
+	// introduce2 receives introduction requests on service intro
+	// circuits.
+	introduce2 chan relayMsg
+
+	// e2e, when set, protects stream DATA end to end between the client
+	// and the hidden service: the rendezvous point splices only
+	// ciphertext. e2eClient tells which direction this endpoint seals.
+	e2e       *hopKeys
+	e2eClient bool
+}
+
+// endpoint is the shared core of Client and Service: a fabric node that
+// originates circuits.
+type endpoint struct {
+	id  string
+	net *Network
+
+	inbox    chan Cell
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	circuits map[uint32]*circuit
+	pending  map[uint32]chan []byte // CREATE waiting for CREATED
+}
+
+var _ node = (*endpoint)(nil)
+
+func newEndpoint(n *Network, id string) (*endpoint, error) {
+	ep := &endpoint{
+		id:       id,
+		net:      n,
+		inbox:    make(chan Cell, inboxSize),
+		done:     make(chan struct{}),
+		circuits: make(map[uint32]*circuit),
+		pending:  make(map[uint32]chan []byte),
+	}
+	if err := n.attach(ep); err != nil {
+		return nil, err
+	}
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		for {
+			select {
+			case c := <-ep.inbox:
+				ep.handleCell(c)
+			case <-ep.done:
+				return
+			}
+		}
+	}()
+	return ep, nil
+}
+
+// ID implements node.
+func (ep *endpoint) ID() string { return ep.id }
+
+// deliver implements node.
+func (ep *endpoint) deliver(c Cell) {
+	select {
+	case ep.inbox <- c:
+	case <-ep.done:
+	}
+}
+
+func (ep *endpoint) stop() {
+	ep.stopOnce.Do(func() {
+		close(ep.done)
+	})
+	ep.wg.Wait()
+	ep.mu.Lock()
+	circuits := make([]*circuit, 0, len(ep.circuits))
+	for _, c := range ep.circuits {
+		circuits = append(circuits, c)
+	}
+	ep.mu.Unlock()
+	for _, c := range circuits {
+		c.teardown()
+	}
+	ep.net.detach(ep.id)
+}
+
+func (ep *endpoint) handleCell(c Cell) {
+	switch c.Cmd {
+	case CmdCreated:
+		ep.mu.Lock()
+		waiter, ok := ep.pending[c.Circ]
+		if ok {
+			delete(ep.pending, c.Circ)
+		}
+		ep.mu.Unlock()
+		if ok {
+			select {
+			case waiter <- c.Payload:
+			default:
+			}
+		}
+	case CmdRelay:
+		ep.mu.Lock()
+		circ := ep.circuits[c.Circ]
+		ep.mu.Unlock()
+		if circ != nil {
+			circ.handleBackward(c.Payload)
+		}
+	case CmdDestroy:
+		ep.mu.Lock()
+		circ := ep.circuits[c.Circ]
+		ep.mu.Unlock()
+		if circ != nil {
+			circ.remoteClose()
+		}
+	}
+}
+
+// buildCircuit creates a circuit through the given relay path, negotiating
+// keys hop by hop (CREATE with the guard, then EXTEND through each later
+// hop) exactly as §II-A describes.
+func (ep *endpoint) buildCircuit(path []string) (*circuit, error) {
+	if len(path) == 0 {
+		return nil, errors.New("onion: empty circuit path")
+	}
+	circID := ep.net.nextCirc()
+	circ := &circuit{
+		id:         circID,
+		ep:         ep,
+		streams:    make(map[uint16]*Stream),
+		nextStr:    1,
+		control:    make(chan relayMsg, 16),
+		introduce2: make(chan relayMsg, 16),
+	}
+	ep.mu.Lock()
+	ep.circuits[circID] = circ
+	ep.mu.Unlock()
+
+	// First hop: link-level CREATE.
+	kp, err := newKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	waiter := make(chan []byte, 1)
+	ep.mu.Lock()
+	ep.pending[circID] = waiter
+	ep.mu.Unlock()
+	ep.net.send(path[0], Cell{Circ: circID, Cmd: CmdCreate, From: ep.id, Payload: kp.pub})
+	var guardPub []byte
+	select {
+	case guardPub = <-waiter:
+	case <-time.After(ep.net.controlDeadline()):
+		ep.dropCircuit(circ)
+		return nil, fmt.Errorf("onion: CREATE to %s timed out", path[0])
+	case <-ep.done:
+		return nil, errors.New("onion: endpoint stopped")
+	}
+	keys, err := deriveHopKeys(kp.priv, guardPub)
+	if err != nil {
+		ep.dropCircuit(circ)
+		return nil, err
+	}
+	circ.mu.Lock()
+	circ.hops = append(circ.hops, hop{relay: path[0], keys: keys})
+	circ.mu.Unlock()
+
+	// Later hops: EXTEND relayed through the current endpoint.
+	for _, target := range path[1:] {
+		kp, err := newKeyPair()
+		if err != nil {
+			ep.dropCircuit(circ)
+			return nil, err
+		}
+		body := encodeExtend(extendPayload{Target: target, ClientPub: kp.pub})
+		if err := circ.sendForward(relayMsg{Cmd: relayExtend, Body: body}); err != nil {
+			ep.dropCircuit(circ)
+			return nil, err
+		}
+		reply, err := circ.waitControl(relayExtended)
+		if err != nil {
+			ep.dropCircuit(circ)
+			return nil, fmt.Errorf("onion: extend to %s: %w", target, err)
+		}
+		keys, err := deriveHopKeys(kp.priv, reply.Body)
+		if err != nil {
+			ep.dropCircuit(circ)
+			return nil, err
+		}
+		circ.mu.Lock()
+		circ.hops = append(circ.hops, hop{relay: target, keys: keys})
+		circ.mu.Unlock()
+	}
+	return circ, nil
+}
+
+func (ep *endpoint) dropCircuit(c *circuit) {
+	ep.mu.Lock()
+	delete(ep.circuits, c.id)
+	delete(ep.pending, c.id)
+	ep.mu.Unlock()
+}
+
+// sendForward wraps msg in one onion layer per hop (innermost layer for the
+// last hop, marked final) and ships it to the guard.
+func (c *circuit) sendForward(msg relayMsg) error {
+	c.mu.Lock()
+	hops := append([]hop(nil), c.hops...)
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return errors.New("onion: circuit is closed")
+	}
+	if len(hops) == 0 {
+		return errors.New("onion: circuit has no hops")
+	}
+	payload := append([]byte{flagFinal}, encodeRelayMsg(msg)...)
+	var err error
+	for i := len(hops) - 1; i >= 0; i-- {
+		payload, err = sealLayer(hops[i].keys.fwdEnc, hops[i].keys.fwdMAC, payload)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			payload = append([]byte{flagForward}, payload...)
+		}
+	}
+	c.ep.net.send(hops[0].relay, Cell{Circ: c.id, Cmd: CmdRelay, From: c.ep.id, Payload: payload})
+	return nil
+}
+
+// handleBackward peels backward layers hop by hop until it finds the
+// originating hop's final layer, then dispatches the message.
+func (c *circuit) handleBackward(payload []byte) {
+	c.mu.Lock()
+	hops := append([]hop(nil), c.hops...)
+	c.mu.Unlock()
+	for _, h := range hops {
+		plain, err := openLayer(h.keys.bwdEnc, h.keys.bwdMAC, payload)
+		if err != nil || len(plain) == 0 {
+			return // corrupt or not yet decryptable: drop
+		}
+		flag, rest := plain[0], plain[1:]
+		if flag == flagForward {
+			payload = rest
+			continue
+		}
+		msg, err := decodeRelayMsg(rest)
+		if err != nil {
+			return
+		}
+		c.dispatch(msg)
+		return
+	}
+}
+
+// setE2E installs the end-to-end keys on a rendezvous circuit.
+func (c *circuit) setE2E(keys *hopKeys, isClient bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.e2e = keys
+	c.e2eClient = isClient
+}
+
+// sealE2E encrypts an outgoing stream chunk when e2e is active.
+func (c *circuit) sealE2E(body []byte) ([]byte, error) {
+	c.mu.Lock()
+	keys, isClient := c.e2e, c.e2eClient
+	c.mu.Unlock()
+	if keys == nil {
+		return body, nil
+	}
+	if isClient {
+		return sealLayer(keys.fwdEnc, keys.fwdMAC, body)
+	}
+	return sealLayer(keys.bwdEnc, keys.bwdMAC, body)
+}
+
+// openE2E decrypts an incoming stream chunk when e2e is active.
+func (c *circuit) openE2E(body []byte) ([]byte, error) {
+	c.mu.Lock()
+	keys, isClient := c.e2e, c.e2eClient
+	c.mu.Unlock()
+	if keys == nil {
+		return body, nil
+	}
+	if isClient {
+		return openLayer(keys.bwdEnc, keys.bwdMAC, body)
+	}
+	return openLayer(keys.fwdEnc, keys.fwdMAC, body)
+}
+
+// dispatch routes a fully unwrapped backward message.
+func (c *circuit) dispatch(msg relayMsg) {
+	if msg.Cmd == relayData {
+		body, err := c.openE2E(msg.Body)
+		if err != nil {
+			return // tampered or foreign ciphertext: drop
+		}
+		msg.Body = body
+	}
+	switch msg.Cmd {
+	case relayData, relayEnd, relayConnected:
+		if msg.Stream != 0 {
+			c.mu.Lock()
+			s := c.streams[msg.Stream]
+			c.mu.Unlock()
+			if s != nil {
+				s.push(msg)
+				return
+			}
+		}
+		// Stream 0 CONNECTED/END act as control messages.
+		select {
+		case c.control <- msg:
+		default:
+		}
+	case relayBegin:
+		// A BEGIN arriving backward opens a service-side stream; the
+		// service's acceptor handles it via the control channel.
+		select {
+		case c.control <- msg:
+		default:
+		}
+	case relayIntroduce2:
+		select {
+		case c.introduce2 <- msg:
+		default:
+		}
+	default:
+		select {
+		case c.control <- msg:
+		default:
+		}
+	}
+}
+
+// waitControl waits for a specific control reply on the circuit.
+func (c *circuit) waitControl(want relayCommand) (relayMsg, error) {
+	deadline := time.After(c.ep.net.controlDeadline())
+	for {
+		select {
+		case msg := <-c.control:
+			if msg.Cmd == want {
+				return msg, nil
+			}
+			if msg.Cmd == relayEnd || msg.Cmd == relayTruncated {
+				return relayMsg{}, fmt.Errorf("onion: circuit refused (%s while waiting for %s)", msg.Cmd, want)
+			}
+			// Unrelated control traffic: keep waiting.
+		case <-deadline:
+			return relayMsg{}, fmt.Errorf("onion: timeout waiting for %s", want)
+		case <-c.ep.done:
+			return relayMsg{}, errors.New("onion: endpoint stopped")
+		}
+	}
+}
+
+// teardown closes the circuit locally and tells the guard to destroy it.
+func (c *circuit) teardown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	guard := ""
+	if len(c.hops) > 0 {
+		guard = c.hops[0].relay
+	}
+	streams := make([]*Stream, 0, len(c.streams))
+	for _, s := range c.streams {
+		streams = append(streams, s)
+	}
+	c.mu.Unlock()
+	for _, s := range streams {
+		s.remoteClose()
+	}
+	if guard != "" {
+		c.ep.net.send(guard, Cell{Circ: c.id, Cmd: CmdDestroy, From: c.ep.id})
+	}
+	c.ep.dropCircuit(c)
+}
+
+// remoteClose handles a DESTROY arriving from the network.
+func (c *circuit) remoteClose() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	streams := make([]*Stream, 0, len(c.streams))
+	for _, s := range c.streams {
+		streams = append(streams, s)
+	}
+	c.mu.Unlock()
+	for _, s := range streams {
+		s.remoteClose()
+	}
+	c.ep.dropCircuit(c)
+}
+
+// allocStream registers a new stream with the next free ID.
+func (c *circuit) allocStream() (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("onion: circuit is closed")
+	}
+	id := c.nextStr
+	c.nextStr++
+	s := newStream(c, id)
+	c.streams[id] = s
+	return s, nil
+}
+
+// adoptStream registers a stream created by the remote side (service-side
+// accept of a client-opened stream ID).
+func (c *circuit) adoptStream(id uint16) (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("onion: circuit is closed")
+	}
+	if _, ok := c.streams[id]; ok {
+		return nil, fmt.Errorf("onion: stream %d already exists", id)
+	}
+	s := newStream(c, id)
+	c.streams[id] = s
+	return s, nil
+}
+
+func (c *circuit) removeStream(id uint16) {
+	c.mu.Lock()
+	delete(c.streams, id)
+	c.mu.Unlock()
+}

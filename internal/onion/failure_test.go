@@ -1,0 +1,310 @@
+package onion
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestBridgeClientReachesHiddenService(t *testing.T) {
+	n := newTestNetwork(t, 6)
+	if _, err := n.AddBridge("secret-bridge"); err != nil {
+		t.Fatal(err)
+	}
+	// Bridges are not in the directory.
+	for _, id := range n.Directory().Relays() {
+		if id == "secret-bridge" {
+			t.Fatal("bridge leaked into the directory")
+		}
+	}
+
+	svc, err := HostService(n, "bridged-svc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+
+	client, err := NewClientWithBridge(n, "censored-user", "secret-bridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("through the bridge")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestBridgeIsFirstHop(t *testing.T) {
+	n := newTestNetwork(t, 5)
+	if _, err := n.AddBridge("bridge-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterExternal("site.example", func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClientWithBridge(n, "user", "bridge-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	path, err := client.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != "bridge-1" {
+		t.Errorf("path = %v, want bridge first", path)
+	}
+}
+
+func TestStopRelayBreaksCircuit(t *testing.T) {
+	n := newTestNetwork(t, 6)
+	n.SetControlTimeout(300 * time.Millisecond)
+	if err := n.RegisterExternal("echo.example", func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(n, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial("echo.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	path, err := client.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the middle relay of the established circuit.
+	if err := n.StopRelay(path[1]); err != nil {
+		t.Fatal(err)
+	}
+	// The cached circuit is dead, but the client recovers by building a
+	// fresh circuit on retry.
+	conn2, err := client.Dial("echo.example")
+	if err != nil {
+		t.Fatalf("dial after relay failure should recover: %v", err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn2, buf); err != nil {
+		t.Fatal(err)
+	}
+	newPath, err := client.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range newPath {
+		if hop == path[1] {
+			t.Error("rebuilt circuit reuses the dead relay")
+		}
+	}
+}
+
+func TestClientRecoversFromGuardFailure(t *testing.T) {
+	n := newTestNetwork(t, 7)
+	n.SetControlTimeout(300 * time.Millisecond)
+	if err := n.RegisterExternal("echo.example", func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(n, "resilient-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial("echo.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	path, err := client.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the guard itself: the client must rotate to a new one.
+	if err := n.StopRelay(path[0]); err != nil {
+		t.Fatal(err)
+	}
+	conn2, err := client.Dial("echo.example")
+	if err != nil {
+		t.Fatalf("dial after guard failure should recover: %v", err)
+	}
+	defer conn2.Close()
+	newPath, err := client.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newPath[0] == path[0] {
+		t.Error("client kept the dead guard")
+	}
+}
+
+func TestStopRelayErrors(t *testing.T) {
+	n := newTestNetwork(t, 3)
+	if err := n.StopRelay("does-not-exist"); err == nil {
+		t.Error("stopping a missing relay should fail")
+	}
+	if err := n.StopRelay("relay-0"); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	if err := n.StopRelay("relay-0"); err == nil {
+		t.Error("double stop should fail")
+	}
+	if n.Directory().NumRelays() != 2 {
+		t.Errorf("roster = %d, want 2", n.Directory().NumRelays())
+	}
+}
+
+func TestServiceSurvivesNonCriticalRelayLoss(t *testing.T) {
+	n := newTestNetwork(t, 10)
+	n.SetControlTimeout(2 * time.Second)
+	svc, err := HostService(n, "resilient", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+
+	// Find a relay that is not on any service circuit and not an HSDir,
+	// and kill it: new clients must still connect.
+	critical := map[string]bool{}
+	for _, id := range svc.CircuitRelays() {
+		critical[id] = true
+	}
+	dirs, err := n.Directory().HSDirs(svc.Onion(), hsDirReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		critical[d] = true
+	}
+	var sacrificial string
+	for _, id := range n.Directory().Relays() {
+		if !critical[id] {
+			sacrificial = id
+			break
+		}
+	}
+	if sacrificial == "" {
+		t.Skip("no non-critical relay in this topology")
+	}
+	if err := n.StopRelay(sacrificial); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := NewClient(n, "after-failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatalf("dial after non-critical relay loss: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardPersistence(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	if err := n.RegisterExternal("a.example", func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(n, "loyal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	path1, err := client.circuitPath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		path, err := client.circuitPath(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[0] != path1[0] {
+			t.Fatalf("guard changed: %s -> %s", path1[0], path[0])
+		}
+	}
+	// Excluding the guard forces a different entry without forgetting it.
+	alt, err := client.circuitPath(3, path1[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt[0] == path1[0] {
+		t.Fatal("excluded guard reused")
+	}
+	again, err := client.circuitPath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != path1[0] {
+		t.Fatalf("guard forgotten after exclusion: %s", again[0])
+	}
+}

@@ -1,0 +1,577 @@
+package onion
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func newTestNetwork(t *testing.T, relays int) *Network {
+	t.Helper()
+	n := NewNetwork(7)
+	if _, err := n.AddRelays(relays); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestSealOpenLayer(t *testing.T) {
+	var enc, mac [32]byte
+	copy(enc[:], bytes.Repeat([]byte{1}, 32))
+	copy(mac[:], bytes.Repeat([]byte{2}, 32))
+	plain := []byte("hello onion world")
+	sealed, err := sealLayer(enc, mac, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := openLayer(enc, mac, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Errorf("round trip: %q", got)
+	}
+	// Tampering must be detected.
+	sealed[len(sealed)-1] ^= 0xff
+	if _, err := openLayer(enc, mac, sealed); err == nil {
+		t.Error("tampered layer accepted")
+	}
+	// Wrong key must be rejected.
+	var wrong [32]byte
+	sealed[len(sealed)-1] ^= 0xff // restore
+	if _, err := openLayer(enc, wrong, sealed); err == nil {
+		t.Error("wrong MAC key accepted")
+	}
+	if _, err := openLayer(enc, mac, []byte("short")); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestDeriveHopKeysAgreement(t *testing.T) {
+	a, err := newKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := deriveHopKeys(a.priv, b.pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := deriveHopKeys(b.priv, a.pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.fwdEnc != kb.fwdEnc || ka.bwdMAC != kb.bwdMAC {
+		t.Error("key agreement mismatch")
+	}
+	if ka.fwdEnc == ka.bwdEnc || ka.fwdMAC == ka.fwdEnc {
+		t.Error("directional keys must differ")
+	}
+	if _, err := deriveHopKeys(a.priv, []byte("bogus")); err == nil {
+		t.Error("bad peer key accepted")
+	}
+}
+
+func TestRelayMsgCodec(t *testing.T) {
+	msgs := []relayMsg{
+		{Cmd: relayData, Stream: 7, Body: []byte("payload")},
+		{Cmd: relayExtended, Stream: 0, Body: nil},
+		{Cmd: relayEnd, Stream: 65535, Body: []byte{}},
+	}
+	for _, m := range msgs {
+		got, err := decodeRelayMsg(encodeRelayMsg(m))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", m.Cmd, err)
+		}
+		if got.Cmd != m.Cmd || got.Stream != m.Stream || !bytes.Equal(got.Body, m.Body) {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+	if _, err := decodeRelayMsg([]byte{1, 2}); err == nil {
+		t.Error("truncated message accepted")
+	}
+	if _, err := decodeRelayMsg([]byte{1, 0, 0, 0, 0, 0, 99}); err == nil {
+		t.Error("length overrun accepted")
+	}
+}
+
+func TestExtendAndIntroduceCodecs(t *testing.T) {
+	e := extendPayload{Target: "relay-5", ClientPub: bytes.Repeat([]byte{9}, 32)}
+	got, err := decodeExtend(encodeExtend(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != e.Target || !bytes.Equal(got.ClientPub, e.ClientPub) {
+		t.Errorf("extend round trip: %+v", got)
+	}
+	if _, err := decodeExtend([]byte{0}); err == nil {
+		t.Error("truncated extend accepted")
+	}
+
+	i := introduce1Payload{Onion: "abcdefghij123456.onion", RendezvousPoint: "relay-2", Cookie: bytes.Repeat([]byte{3}, 16)}
+	gotI, err := decodeIntroduce1(encodeIntroduce1(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotI.Onion != i.Onion || gotI.RendezvousPoint != i.RendezvousPoint || !bytes.Equal(gotI.Cookie, i.Cookie) {
+		t.Errorf("introduce1 round trip: %+v", gotI)
+	}
+	if _, err := decodeIntroduce1(nil); err == nil {
+		t.Error("empty introduce1 accepted")
+	}
+}
+
+func TestOnionAddress(t *testing.T) {
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := OnionAddress(pub)
+	if !strings.HasSuffix(addr, ".onion") {
+		t.Errorf("address %q lacks suffix", addr)
+	}
+	host := strings.TrimSuffix(addr, ".onion")
+	if len(host) != 16 {
+		t.Errorf("host %q has %d chars, want 16 (v2-style)", host, len(host))
+	}
+	if host != strings.ToLower(host) {
+		t.Error("address should be lowercase")
+	}
+	// Deterministic.
+	if OnionAddress(pub) != addr {
+		t.Error("address not deterministic")
+	}
+}
+
+func TestDescriptorSignVerify(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Descriptor{Onion: OnionAddress(pub), IntroPoints: []string{"relay-1", "relay-2"}, PublicKey: pub}
+	d.Sign(priv)
+	if err := d.Verify(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+	// Tampered intro points.
+	d2 := d.clone()
+	d2.IntroPoints[0] = "evil-relay"
+	if err := d2.Verify(); err == nil {
+		t.Error("tampered descriptor accepted")
+	}
+	// Address not matching key.
+	d3 := d.clone()
+	d3.Onion = "aaaaaaaaaaaaaaaa.onion"
+	if err := d3.Verify(); err == nil {
+		t.Error("address mismatch accepted")
+	}
+	// No key.
+	d4 := d.clone()
+	d4.PublicKey = nil
+	if err := d4.Verify(); err == nil {
+		t.Error("keyless descriptor accepted")
+	}
+}
+
+func TestDirectoryRoster(t *testing.T) {
+	d := NewDirectory()
+	d.AddRelay("b")
+	d.AddRelay("a")
+	d.AddRelay("c")
+	d.AddRelay("a") // duplicate ignored
+	if got := d.Relays(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("Relays() = %v", got)
+	}
+	if d.NumRelays() != 3 {
+		t.Errorf("NumRelays = %d", d.NumRelays())
+	}
+	d.RemoveRelay("b")
+	if d.NumRelays() != 2 {
+		t.Errorf("after remove: %d", d.NumRelays())
+	}
+	dirs, err := d.HSDirs("someonion.onion", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Errorf("HSDirs = %v", dirs)
+	}
+	// Stable assignment.
+	dirs2, err := d.HSDirs("someonion.onion", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirs[0] != dirs2[0] || dirs[1] != dirs2[1] {
+		t.Error("HSDir assignment not stable")
+	}
+	empty := NewDirectory()
+	if _, err := empty.HSDirs("x.onion", 1); err == nil {
+		t.Error("empty directory should fail")
+	}
+}
+
+func TestPickRelays(t *testing.T) {
+	n := newTestNetwork(t, 10)
+	picked, err := n.PickRelays(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 3 {
+		t.Fatalf("picked %v", picked)
+	}
+	seen := map[string]bool{}
+	for _, id := range picked {
+		if seen[id] {
+			t.Error("duplicate relay picked")
+		}
+		seen[id] = true
+	}
+	// Exclusion respected.
+	picked, err = n.PickRelays(9, "relay-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range picked {
+		if id == "relay-0" {
+			t.Error("excluded relay picked")
+		}
+	}
+	if _, err := n.PickRelays(11); err == nil {
+		t.Error("overdraw should fail")
+	}
+}
+
+func TestExternalDialThroughExitCircuit(t *testing.T) {
+	n := newTestNetwork(t, 6)
+	// A simple echo destination on the "standard web".
+	err := n.RegisterExternal("echo.example", func(conn net.Conn) {
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterExternal("echo.example", nil); err == nil {
+		t.Error("duplicate external registration accepted")
+	}
+
+	client, err := NewClient(n, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	conn, err := client.Dial("echo.example:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := []byte("through three hops and back")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("echo = %q", buf)
+	}
+
+	path, err := client.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Errorf("exit circuit has %d hops, want 3: %v", len(path), path)
+	}
+}
+
+func TestDialUnknownExternal(t *testing.T) {
+	n := newTestNetwork(t, 6)
+	client, err := NewClient(n, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Dial("nonexistent.example"); err == nil {
+		t.Error("dial to unregistered destination should fail")
+	}
+}
+
+func TestHiddenServiceEndToEnd(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "hidden-wiki", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if !strings.HasSuffix(svc.Onion(), ".onion") {
+		t.Fatalf("bad onion address %q", svc.Onion())
+	}
+
+	// Serve a tiny line protocol.
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(conn, "you said: %s", line)
+			}(conn)
+		}
+	}()
+
+	client, err := NewClient(n, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "hello hidden service"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "you said: hello hidden service\n" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+func TestHiddenServiceHTTP(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "http-service", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "welcome to %s", r.Host)
+	})
+	server := &http.Server{Handler: mux}
+	go func() { _ = server.Serve(svc.Listener()) }()
+	defer server.Close()
+
+	client, err := NewClient(n, "dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	httpClient := &http.Client{Transport: &http.Transport{DialContext: client.DialContext}}
+	resp, err := httpClient.Get("http://" + svc.Onion() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "welcome to " + svc.Onion()
+	if string(body) != want {
+		t.Errorf("body = %q, want %q", body, want)
+	}
+}
+
+func TestHiddenServiceMultipleStreams(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "multi", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+
+	client, err := NewClient(n, "erin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Several concurrent streams over one rendezvous circuit.
+	const streams = 5
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		go func(i int) {
+			conn, err := client.Dial(svc.Onion())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := []byte(fmt.Sprintf("stream-%d", i))
+			if _, err := conn.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(buf, msg) {
+				errs <- fmt.Errorf("stream %d: echo %q", i, buf)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < streams; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFetchDescriptor(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "lookup", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	client, err := NewClient(n, "frank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	desc, err := client.FetchDescriptor(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Onion != svc.Onion() {
+		t.Errorf("descriptor onion %q", desc.Onion)
+	}
+	if len(desc.IntroPoints) != 2 {
+		t.Errorf("descriptor intro points %v", desc.IntroPoints)
+	}
+	if _, err := client.FetchDescriptor("doesnotexist1234.onion"); err == nil {
+		t.Error("missing descriptor should fail")
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	n := newTestNetwork(t, 8)
+	svc, err := HostService(n, "bulk", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_, _ = conn.Write(payload)
+			}(conn)
+		}
+	}()
+
+	client, err := NewClient(n, "grace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("large transfer corrupted")
+	}
+}
+
+func TestNetworkCloseIdempotent(t *testing.T) {
+	n := NewNetwork(1)
+	if _, err := n.AddRelays(3); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close() // second close is a no-op
+	if _, err := n.AddRelay("late"); err == nil {
+		t.Error("attach after close should fail")
+	}
+}
+
+func TestCellCommandStrings(t *testing.T) {
+	if CmdCreate.String() != "CREATE" || CmdRelay.String() != "RELAY" {
+		t.Error("cell command strings wrong")
+	}
+	if CellCommand(99).String() == "" {
+		t.Error("unknown command string empty")
+	}
+	if relayData.String() != "DATA" || relayRendezvous2.String() != "RENDEZVOUS2" {
+		t.Error("relay command strings wrong")
+	}
+	if relayCommand(99).String() == "" {
+		t.Error("unknown relay command string empty")
+	}
+}
+
+func TestDuplicateNodeID(t *testing.T) {
+	n := newTestNetwork(t, 3)
+	if _, err := NewClient(n, "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(n, "dup"); err == nil {
+		t.Error("duplicate node ID accepted")
+	}
+}

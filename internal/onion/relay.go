@@ -1,0 +1,514 @@
+package onion
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// relayCircuit is a relay's view of one circuit passing through it.
+type relayCircuit struct {
+	id   uint32 // circuit ID on the inbound (client-side) link
+	prev string // node the circuit arrives from
+
+	next     string // node the circuit continues to (if extended)
+	nextCirc uint32 // circuit ID on the outbound link
+
+	keys *hopKeys // negotiated with the circuit originator
+
+	// spliceTo, when non-zero, joins this circuit to another circuit on
+	// the same relay (rendezvous point behaviour).
+	spliceTo uint32
+
+	// streams tracks exit-side connections to external destinations.
+	streams map[uint16]net.Conn
+}
+
+// Relay is one onion router: it decrypts/encrypts its layer, extends
+// circuits, acts as exit for external destinations, and plays the three
+// hidden-service roles (intro point, HSDir, rendezvous point) on demand.
+type Relay struct {
+	id    string
+	net   *Network
+	inbox chan Cell
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	mu sync.Mutex
+	// circuits is keyed by inbound circuit ID.
+	circuits map[uint32]*relayCircuit
+	// byNextCirc indexes circuits by their outbound circuit ID, for
+	// backward traffic.
+	byNextCirc map[uint32]uint32
+	// pendingExtend maps an outbound CREATE's circuit ID to the inbound
+	// circuit waiting for the CREATED.
+	pendingExtend map[uint32]uint32
+	// introServices maps onion address -> inbound circuit ID of the
+	// service's intro circuit.
+	introServices map[string]uint32
+	// rendezvous maps cookie (hex) -> inbound circuit ID of the client's
+	// rendezvous circuit.
+	rendezvous map[string]uint32
+	// hsStore is the relay's slice of the hidden-service directory.
+	hsStore map[string]*Descriptor
+	// spliceObserver, when set, receives a copy of every DATA body this
+	// relay splices as a rendezvous point — a diagnostic hook modelling a
+	// curious/malicious RP. End-to-end encryption is what keeps this
+	// vantage point blind.
+	spliceObserver func([]byte)
+}
+
+var _ node = (*Relay)(nil)
+
+func newRelay(n *Network, id string) (*Relay, error) {
+	if id == "" {
+		return nil, fmt.Errorf("onion: relay needs a non-empty ID")
+	}
+	return &Relay{
+		id:            id,
+		net:           n,
+		inbox:         make(chan Cell, inboxSize),
+		done:          make(chan struct{}),
+		circuits:      make(map[uint32]*relayCircuit),
+		byNextCirc:    make(map[uint32]uint32),
+		pendingExtend: make(map[uint32]uint32),
+		introServices: make(map[string]uint32),
+		rendezvous:    make(map[string]uint32),
+		hsStore:       make(map[string]*Descriptor),
+	}, nil
+}
+
+// ID implements node.
+func (r *Relay) ID() string { return r.id }
+
+// deliver implements node.
+func (r *Relay) deliver(c Cell) {
+	select {
+	case r.inbox <- c:
+	case <-r.done:
+	}
+}
+
+func (r *Relay) start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			select {
+			case c := <-r.inbox:
+				r.handleCell(c)
+			case <-r.done:
+				return
+			}
+		}
+	}()
+}
+
+// stop halts the relay's processing loop and closes exit connections.
+func (r *Relay) stop() {
+	r.stopOnce.Do(func() {
+		close(r.done)
+	})
+	// Close exit streams first: the per-stream pump goroutines block on
+	// reads from these connections and must be released before Wait.
+	r.mu.Lock()
+	var conns []net.Conn
+	for _, rc := range r.circuits {
+		for _, conn := range rc.streams {
+			conns = append(conns, conn)
+		}
+	}
+	r.mu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+	r.wg.Wait()
+}
+
+// SetSpliceObserver installs a hook receiving every spliced DATA body
+// (malicious rendezvous-point model; see spliceObserver).
+func (r *Relay) SetSpliceObserver(fn func([]byte)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spliceObserver = fn
+}
+
+// StoreDescriptor saves a hidden-service descriptor (HSDir role). The
+// descriptor is verified before storage.
+func (r *Relay) StoreDescriptor(d *Descriptor) error {
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("onion: HSDir %s rejects descriptor: %w", r.id, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hsStore[d.Onion] = d.clone()
+	return nil
+}
+
+// FetchDescriptor retrieves a stored descriptor (HSDir role).
+func (r *Relay) FetchDescriptor(onion string) (*Descriptor, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.hsStore[onion]
+	if !ok {
+		return nil, fmt.Errorf("onion: HSDir %s has no descriptor for %q", r.id, onion)
+	}
+	return d.clone(), nil
+}
+
+func (r *Relay) handleCell(c Cell) {
+	switch c.Cmd {
+	case CmdCreate:
+		r.handleCreate(c)
+	case CmdCreated:
+		r.handleCreated(c)
+	case CmdRelay:
+		r.handleRelay(c)
+	case CmdDestroy:
+		r.handleDestroy(c)
+	}
+}
+
+// handleCreate negotiates hop keys with the circuit originator.
+func (r *Relay) handleCreate(c Cell) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return
+	}
+	keys, err := deriveHopKeys(priv, c.Payload)
+	if err != nil {
+		return
+	}
+	rc := &relayCircuit{
+		id:      c.Circ,
+		prev:    c.From,
+		keys:    keys,
+		streams: make(map[uint16]net.Conn),
+	}
+	r.mu.Lock()
+	r.circuits[c.Circ] = rc
+	r.mu.Unlock()
+	r.net.send(c.From, Cell{
+		Circ:    c.Circ,
+		Cmd:     CmdCreated,
+		From:    r.id,
+		Payload: priv.PublicKey().Bytes(),
+	})
+}
+
+// handleCreated completes an extension this relay initiated on behalf of a
+// circuit: it forwards the new hop's public key backward as EXTENDED.
+func (r *Relay) handleCreated(c Cell) {
+	r.mu.Lock()
+	inbound, ok := r.pendingExtend[c.Circ]
+	if ok {
+		delete(r.pendingExtend, c.Circ)
+	}
+	rc := r.circuits[inbound]
+	r.mu.Unlock()
+	if !ok || rc == nil {
+		return
+	}
+	r.sendBackward(rc, relayMsg{Cmd: relayExtended, Body: c.Payload})
+}
+
+// handleRelay processes an onion-encrypted relay cell, in either direction.
+func (r *Relay) handleRelay(c Cell) {
+	r.mu.Lock()
+	// Forward direction: the cell arrives on the inbound link.
+	rc, forward := r.circuits[c.Circ]
+	if forward && rc.prev != c.From {
+		forward = false
+	}
+	var backCirc *relayCircuit
+	if !forward {
+		if inbound, ok := r.byNextCirc[c.Circ]; ok {
+			backCirc = r.circuits[inbound]
+		}
+	}
+	r.mu.Unlock()
+
+	switch {
+	case forward:
+		r.handleForward(rc, c)
+	case backCirc != nil && backCirc.next == c.From:
+		// Backward direction: wrap our layer and pass toward the client.
+		payload, err := sealLayer(backCirc.keys.bwdEnc, backCirc.keys.bwdMAC,
+			append([]byte{flagForward}, c.Payload...))
+		if err != nil {
+			return
+		}
+		r.net.send(backCirc.prev, Cell{Circ: backCirc.id, Cmd: CmdRelay, From: r.id, Payload: payload})
+	}
+}
+
+// handleForward unwraps this relay's layer of a forward cell and either
+// relays it to the next hop or executes the contained command.
+func (r *Relay) handleForward(rc *relayCircuit, c Cell) {
+	plain, err := openLayer(rc.keys.fwdEnc, rc.keys.fwdMAC, c.Payload)
+	if err != nil || len(plain) == 0 {
+		return
+	}
+	flag, rest := plain[0], plain[1:]
+	if flag == flagForward {
+		r.mu.Lock()
+		next, nextCirc := rc.next, rc.nextCirc
+		r.mu.Unlock()
+		if next == "" {
+			return
+		}
+		r.net.send(next, Cell{Circ: nextCirc, Cmd: CmdRelay, From: r.id, Payload: rest})
+		return
+	}
+	msg, err := decodeRelayMsg(rest)
+	if err != nil {
+		return
+	}
+	r.execute(rc, msg)
+}
+
+// execute runs a relay command addressed to this relay.
+func (r *Relay) execute(rc *relayCircuit, msg relayMsg) {
+	// Rendezvous-point role: once two circuits are spliced, every
+	// stream-level command crossing this endpoint is re-originated on the
+	// other leg instead of being executed here.
+	r.mu.Lock()
+	var spliced *relayCircuit
+	if rc.spliceTo != 0 {
+		spliced = r.circuits[rc.spliceTo]
+	}
+	r.mu.Unlock()
+	if spliced != nil {
+		switch msg.Cmd {
+		case relayBegin, relayData, relayEnd, relayConnected:
+			if msg.Cmd == relayData {
+				r.mu.Lock()
+				observer := r.spliceObserver
+				r.mu.Unlock()
+				if observer != nil {
+					observer(append([]byte(nil), msg.Body...))
+				}
+			}
+			r.sendBackward(spliced, msg)
+			return
+		}
+	}
+	switch msg.Cmd {
+	case relayExtend:
+		r.execExtend(rc, msg)
+	case relayBegin:
+		r.execBegin(rc, msg)
+	case relayData:
+		r.execData(rc, msg)
+	case relayEnd:
+		r.execEnd(rc, msg)
+	case relayEstablishIntro:
+		r.execEstablishIntro(rc, msg)
+	case relayIntroduce1:
+		r.execIntroduce1(rc, msg)
+	case relayEstablishRendezvous:
+		r.execEstablishRendezvous(rc, msg)
+	case relayRendezvous1:
+		r.execRendezvous1(rc, msg)
+	}
+}
+
+func (r *Relay) execExtend(rc *relayCircuit, msg relayMsg) {
+	p, err := decodeExtend(msg.Body)
+	if err != nil {
+		return
+	}
+	newCirc := r.net.nextCirc()
+	r.mu.Lock()
+	rc.next = p.Target
+	rc.nextCirc = newCirc
+	r.byNextCirc[newCirc] = rc.id
+	r.pendingExtend[newCirc] = rc.id
+	r.mu.Unlock()
+	r.net.send(p.Target, Cell{Circ: newCirc, Cmd: CmdCreate, From: r.id, Payload: p.ClientPub})
+}
+
+// execBegin opens an exit connection to an external destination.
+func (r *Relay) execBegin(rc *relayCircuit, msg relayMsg) {
+	host, _, err := readString(msg.Body)
+	if err != nil {
+		return
+	}
+	handler, ok := r.net.externalHandler(host)
+	if !ok {
+		r.sendBackward(rc, relayMsg{Cmd: relayEnd, Stream: msg.Stream})
+		return
+	}
+	client, server := net.Pipe()
+	r.mu.Lock()
+	rc.streams[msg.Stream] = client
+	r.mu.Unlock()
+	go handler(server)
+	// Pump data coming back from the destination into the circuit.
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		buf := make([]byte, maxDataBody)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				body := make([]byte, n)
+				copy(body, buf[:n])
+				r.sendBackward(rc, relayMsg{Cmd: relayData, Stream: msg.Stream, Body: body})
+			}
+			if err != nil {
+				r.sendBackward(rc, relayMsg{Cmd: relayEnd, Stream: msg.Stream})
+				return
+			}
+		}
+	}()
+	r.sendBackward(rc, relayMsg{Cmd: relayConnected, Stream: msg.Stream})
+}
+
+// execData handles DATA cells addressed to this relay: exit streams
+// (rendezvous splicing is handled before dispatch in execute).
+func (r *Relay) execData(rc *relayCircuit, msg relayMsg) {
+	r.mu.Lock()
+	conn := rc.streams[msg.Stream]
+	r.mu.Unlock()
+	if conn != nil {
+		_, _ = conn.Write(msg.Body)
+	}
+}
+
+func (r *Relay) execEnd(rc *relayCircuit, msg relayMsg) {
+	r.mu.Lock()
+	conn := rc.streams[msg.Stream]
+	delete(rc.streams, msg.Stream)
+	r.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// execEstablishIntro registers this circuit as the introduction path for a
+// hidden service.
+func (r *Relay) execEstablishIntro(rc *relayCircuit, msg relayMsg) {
+	onion, _, err := readString(msg.Body)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.introServices[onion] = rc.id
+	r.mu.Unlock()
+	r.sendBackward(rc, relayMsg{Cmd: relayIntroEstablished})
+}
+
+// execIntroduce1 relays a client's introduction request to the hidden
+// service over the service's intro circuit.
+func (r *Relay) execIntroduce1(rc *relayCircuit, msg relayMsg) {
+	p, err := decodeIntroduce1(msg.Body)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	introCirc, ok := r.introServices[p.Onion]
+	serviceCirc := r.circuits[introCirc]
+	r.mu.Unlock()
+	if !ok || serviceCirc == nil {
+		r.sendBackward(rc, relayMsg{Cmd: relayEnd})
+		return
+	}
+	r.sendBackward(serviceCirc, relayMsg{Cmd: relayIntroduce2, Body: msg.Body})
+	r.sendBackward(rc, relayMsg{Cmd: relayIntroduceAck})
+}
+
+// execEstablishRendezvous parks a client circuit at a cookie.
+func (r *Relay) execEstablishRendezvous(rc *relayCircuit, msg relayMsg) {
+	cookie, _, err := readBytes(msg.Body)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.rendezvous[hex.EncodeToString(cookie)] = rc.id
+	r.mu.Unlock()
+	r.sendBackward(rc, relayMsg{Cmd: relayRendezvousEstablished})
+}
+
+// execRendezvous1 joins the service circuit to the parked client circuit
+// and forwards the service's ephemeral key to the client.
+func (r *Relay) execRendezvous1(rc *relayCircuit, msg relayMsg) {
+	p, err := decodeRendezvous1(msg.Body)
+	if err != nil {
+		return
+	}
+	key := hex.EncodeToString(p.Cookie)
+	r.mu.Lock()
+	clientCircID, ok := r.rendezvous[key]
+	clientCirc := r.circuits[clientCircID]
+	if ok {
+		delete(r.rendezvous, key)
+		rc.spliceTo = clientCircID
+		if clientCirc != nil {
+			clientCirc.spliceTo = rc.id
+		}
+	}
+	r.mu.Unlock()
+	if !ok || clientCirc == nil {
+		r.sendBackward(rc, relayMsg{Cmd: relayEnd})
+		return
+	}
+	r.sendBackward(clientCirc, relayMsg{Cmd: relayRendezvous2, Body: p.ServicePub})
+}
+
+// sendBackward originates a relay message toward the client side of rc,
+// sealed as this relay's final layer.
+func (r *Relay) sendBackward(rc *relayCircuit, msg relayMsg) {
+	payload, err := sealLayer(rc.keys.bwdEnc, rc.keys.bwdMAC,
+		append([]byte{flagFinal}, encodeRelayMsg(msg)...))
+	if err != nil {
+		return
+	}
+	r.net.send(rc.prev, Cell{Circ: rc.id, Cmd: CmdRelay, From: r.id, Payload: payload})
+}
+
+// handleDestroy tears a circuit down in both directions.
+func (r *Relay) handleDestroy(c Cell) {
+	r.mu.Lock()
+	rc, ok := r.circuits[c.Circ]
+	if !ok {
+		if inbound, ok2 := r.byNextCirc[c.Circ]; ok2 {
+			rc = r.circuits[inbound]
+		}
+	}
+	if rc == nil {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.circuits, rc.id)
+	delete(r.byNextCirc, rc.nextCirc)
+	for onion, circ := range r.introServices {
+		if circ == rc.id {
+			delete(r.introServices, onion)
+		}
+	}
+	for cookie, circ := range r.rendezvous {
+		if circ == rc.id {
+			delete(r.rendezvous, cookie)
+		}
+	}
+	next, nextCirc := rc.next, rc.nextCirc
+	prev, prevCirc := rc.prev, rc.id
+	streams := rc.streams
+	r.mu.Unlock()
+
+	for _, conn := range streams {
+		_ = conn.Close()
+	}
+	if next != "" && c.From != next {
+		r.net.send(next, Cell{Circ: nextCirc, Cmd: CmdDestroy, From: r.id})
+	}
+	if c.From != prev {
+		r.net.send(prev, Cell{Circ: prevCirc, Cmd: CmdDestroy, From: r.id})
+	}
+}

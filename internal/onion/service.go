@@ -1,0 +1,303 @@
+package onion
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// DefaultIntroPoints is the number of introduction points a service
+// establishes.
+const DefaultIntroPoints = 3
+
+// hsDirReplicas is how many HSDirs a descriptor is published to.
+const hsDirReplicas = 2
+
+// Service is a hidden service: it owns an identity key, keeps circuits open
+// to its introduction points, publishes its descriptor to the responsible
+// hidden-service directories, and answers introduction requests by meeting
+// clients at their rendezvous points (§II-B).
+type Service struct {
+	ep    *endpoint
+	priv  ed25519.PrivateKey
+	pub   ed25519.PublicKey
+	onion string
+
+	acceptQueue chan *Stream
+
+	mu         sync.Mutex
+	introCircs []*circuit
+	rendCircs  []*circuit
+	closed     bool
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// HostService creates a hidden service on the network, establishes its
+// introduction points and publishes its descriptor. The returned service is
+// ready to Accept connections at its Onion() address.
+func HostService(n *Network, name string, introPoints int) (*Service, error) {
+	if introPoints <= 0 {
+		introPoints = DefaultIntroPoints
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("onion: generate service identity: %w", err)
+	}
+	ep, err := newEndpoint(n, name)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		ep:          ep,
+		priv:        priv,
+		pub:         pub,
+		onion:       OnionAddress(pub),
+		acceptQueue: make(chan *Stream, 64),
+	}
+
+	// Establish the introduction points: a circuit to each chosen relay,
+	// then ESTABLISH_INTRO over it.
+	intros, err := n.PickRelays(introPoints)
+	if err != nil {
+		ep.stop()
+		return nil, err
+	}
+	for _, intro := range intros {
+		path, err := s.pathTo(intro)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		circ, err := ep.buildCircuit(path)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("onion: intro circuit to %s: %w", intro, err)
+		}
+		body := writeString(nil, s.onion)
+		if err := circ.sendForward(relayMsg{Cmd: relayEstablishIntro, Body: body}); err != nil {
+			s.Close()
+			return nil, err
+		}
+		if _, err := circ.waitControl(relayIntroEstablished); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("onion: establish intro at %s: %w", intro, err)
+		}
+		s.mu.Lock()
+		s.introCircs = append(s.introCircs, circ)
+		s.mu.Unlock()
+		// Watch the intro circuit for INTRODUCE2 requests.
+		s.wg.Add(1)
+		go s.introLoop(circ)
+	}
+
+	// Publish the signed descriptor to the responsible HSDirs.
+	desc := &Descriptor{Onion: s.onion, IntroPoints: intros, PublicKey: pub}
+	desc.Sign(priv)
+	dirs, err := n.directory.HSDirs(s.onion, hsDirReplicas)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	published := 0
+	for _, dir := range dirs {
+		n.mu.RLock()
+		nd := n.nodes[dir]
+		n.mu.RUnlock()
+		relay, ok := nd.(*Relay)
+		if !ok {
+			continue
+		}
+		if err := relay.StoreDescriptor(desc); err != nil {
+			continue
+		}
+		published++
+	}
+	if published == 0 {
+		s.Close()
+		return nil, errors.New("onion: could not publish descriptor to any HSDir")
+	}
+	return s, nil
+}
+
+// pathTo builds a (middle..., target) path ending at the target relay with
+// two random leading hops.
+func (s *Service) pathTo(target string) ([]string, error) {
+	lead, err := s.ep.net.PickRelays(2, target)
+	if err != nil {
+		return nil, err
+	}
+	return append(lead, target), nil
+}
+
+// Onion returns the service's .onion address.
+func (s *Service) Onion() string { return s.onion }
+
+// CircuitRelays lists every relay currently on one of the service's
+// circuits (intro and rendezvous legs). Losing any of them breaks the
+// corresponding circuit — real Tor rebuilds such circuits; this
+// implementation documents the dependency instead.
+func (s *Service) CircuitRelays() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	collect := func(circs []*circuit) {
+		for _, c := range circs {
+			c.mu.Lock()
+			for _, h := range c.hops {
+				if !seen[h.relay] {
+					seen[h.relay] = true
+					out = append(out, h.relay)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+	collect(s.introCircs)
+	collect(s.rendCircs)
+	return out
+}
+
+// PublicKey returns the service's identity key.
+func (s *Service) PublicKey() ed25519.PublicKey { return s.pub }
+
+// introLoop answers INTRODUCE2 messages arriving on an intro circuit.
+func (s *Service) introLoop(circ *circuit) {
+	defer s.wg.Done()
+	for {
+		select {
+		case msg := <-circ.introduce2:
+			p, err := decodeIntroduce1(msg.Body)
+			if err != nil || p.Onion != s.onion {
+				continue
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.meetClient(p)
+			}()
+		case <-s.ep.done:
+			return
+		}
+	}
+}
+
+// meetClient builds a circuit to the client's rendezvous point and joins
+// the rendezvous, then serves streams on the joined circuit. The service's
+// half of the end-to-end handshake rides in RENDEZVOUS1.
+func (s *Service) meetClient(p introduce1Payload) {
+	e2eKey, err := newKeyPair()
+	if err != nil {
+		return
+	}
+	e2eKeys, err := deriveHopKeys(e2eKey.priv, p.ClientPub)
+	if err != nil {
+		return // malformed client key: refuse the rendezvous
+	}
+	path, err := s.pathTo(p.RendezvousPoint)
+	if err != nil {
+		return
+	}
+	circ, err := s.ep.buildCircuit(path)
+	if err != nil {
+		return
+	}
+	circ.setE2E(e2eKeys, false)
+	body := encodeRendezvous1(rendezvous1Payload{Cookie: p.Cookie, ServicePub: e2eKey.pub})
+	if err := circ.sendForward(relayMsg{Cmd: relayRendezvous1, Body: body}); err != nil {
+		circ.teardown()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		circ.teardown()
+		return
+	}
+	s.rendCircs = append(s.rendCircs, circ)
+	s.mu.Unlock()
+	// Serve stream-open requests (BEGIN) on this rendezvous circuit.
+	s.wg.Add(1)
+	go s.serveCircuit(circ)
+}
+
+// serveCircuit accepts BEGIN requests on a joined rendezvous circuit and
+// queues the resulting streams for Accept.
+func (s *Service) serveCircuit(circ *circuit) {
+	defer s.wg.Done()
+	for {
+		select {
+		case msg := <-circ.control:
+			if msg.Cmd != relayBegin || msg.Stream == 0 {
+				continue
+			}
+			stream, err := circ.adoptStream(msg.Stream)
+			if err != nil {
+				continue
+			}
+			stream.markConnected()
+			if err := circ.sendForward(relayMsg{Cmd: relayConnected, Stream: msg.Stream}); err != nil {
+				stream.remoteClose()
+				continue
+			}
+			select {
+			case s.acceptQueue <- stream:
+			case <-s.ep.done:
+				return
+			}
+		case <-s.ep.done:
+			return
+		}
+	}
+}
+
+// Listener returns a net.Listener that accepts hidden-service connections,
+// suitable for http.Serve.
+func (s *Service) Listener() net.Listener {
+	return &serviceListener{svc: s}
+}
+
+// serviceListener adapts a Service to net.Listener.
+type serviceListener struct {
+	svc *Service
+}
+
+var _ net.Listener = (*serviceListener)(nil)
+
+// Accept waits for the next client stream.
+func (l *serviceListener) Accept() (net.Conn, error) {
+	select {
+	case stream := <-l.svc.acceptQueue:
+		return stream, nil
+	case <-l.svc.ep.done:
+		return nil, errors.New("onion: service closed")
+	}
+}
+
+// Close shuts the service down.
+func (l *serviceListener) Close() error {
+	l.svc.Close()
+	return nil
+}
+
+// Addr returns the service's onion address.
+func (l *serviceListener) Addr() net.Addr {
+	return onionAddr{host: l.svc.onion}
+}
+
+// Close tears down every circuit and detaches the service from the
+// network.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.ep.stop()
+		s.wg.Wait()
+	})
+}

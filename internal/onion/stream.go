@@ -1,0 +1,230 @@
+package onion
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// maxDataBody caps the payload of one DATA cell.
+const maxDataBody = 2048
+
+// streamQueue bounds the per-stream receive queue.
+const streamQueue = 256
+
+// ErrStreamClosed is returned by operations on a closed stream.
+var ErrStreamClosed = errors.New("onion: stream closed")
+
+// Stream is one bidirectional byte stream multiplexed over a circuit. It
+// implements net.Conn, so standard protocols (the forum's HTTP, §V) run
+// over it unchanged.
+type Stream struct {
+	circ *circuit
+	id   uint16
+
+	incoming chan []byte
+
+	mu        sync.Mutex
+	connected chan struct{} // closed when CONNECTED arrives
+	connOnce  sync.Once
+	closed    chan struct{}
+	closeOnce sync.Once
+	buf       []byte // partially consumed incoming chunk
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+var _ net.Conn = (*Stream)(nil)
+
+func newStream(c *circuit, id uint16) *Stream {
+	return &Stream{
+		circ:      c,
+		id:        id,
+		incoming:  make(chan []byte, streamQueue),
+		connected: make(chan struct{}),
+		closed:    make(chan struct{}),
+	}
+}
+
+// push delivers a backward message addressed to this stream.
+func (s *Stream) push(msg relayMsg) {
+	switch msg.Cmd {
+	case relayConnected:
+		s.connOnce.Do(func() { close(s.connected) })
+	case relayData:
+		body := append([]byte(nil), msg.Body...)
+		select {
+		case s.incoming <- body:
+		case <-s.closed:
+		}
+	case relayEnd:
+		s.remoteClose()
+	}
+}
+
+// markConnected is used by the service side, which never receives a
+// CONNECTED for streams it accepted.
+func (s *Stream) markConnected() {
+	s.connOnce.Do(func() { close(s.connected) })
+}
+
+// waitConnected blocks until the stream is established.
+func (s *Stream) waitConnected(timeout time.Duration) error {
+	select {
+	case <-s.connected:
+		return nil
+	case <-s.closed:
+		return ErrStreamClosed
+	case <-time.After(timeout):
+		return fmt.Errorf("onion: stream %d connect timeout", s.id)
+	}
+}
+
+// Read implements net.Conn.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	if len(s.buf) > 0 {
+		n := copy(p, s.buf)
+		s.buf = s.buf[n:]
+		s.mu.Unlock()
+		return n, nil
+	}
+	deadline := s.readDeadline
+	s.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, os.ErrDeadlineExceeded
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+
+	select {
+	case chunk := <-s.incoming:
+		n := copy(p, chunk)
+		if n < len(chunk) {
+			s.mu.Lock()
+			s.buf = chunk[n:]
+			s.mu.Unlock()
+		}
+		return n, nil
+	case <-s.closed:
+		// Drain anything that raced with the close.
+		select {
+		case chunk := <-s.incoming:
+			n := copy(p, chunk)
+			if n < len(chunk) {
+				s.mu.Lock()
+				s.buf = chunk[n:]
+				s.mu.Unlock()
+			}
+			return n, nil
+		default:
+		}
+		return 0, io.EOF
+	case <-timeout:
+		return 0, os.ErrDeadlineExceeded
+	}
+}
+
+// Write implements net.Conn, chunking into DATA cells.
+func (s *Stream) Write(p []byte) (int, error) {
+	select {
+	case <-s.closed:
+		return 0, ErrStreamClosed
+	default:
+	}
+	s.mu.Lock()
+	deadline := s.writeDeadline
+	s.mu.Unlock()
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return 0, os.ErrDeadlineExceeded
+	}
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxDataBody {
+			n = maxDataBody
+		}
+		body := make([]byte, n)
+		copy(body, p[:n])
+		sealed, err := s.circ.sealE2E(body)
+		if err != nil {
+			return written, err
+		}
+		if err := s.circ.sendForward(relayMsg{Cmd: relayData, Stream: s.id, Body: sealed}); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn: it ends the stream on both sides.
+func (s *Stream) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.circ.sendForward(relayMsg{Cmd: relayEnd, Stream: s.id})
+		close(s.closed)
+		s.circ.removeStream(s.id)
+	})
+	return err
+}
+
+// remoteClose closes the stream without notifying the peer (the peer
+// initiated the close).
+func (s *Stream) remoteClose() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.circ.removeStream(s.id)
+	})
+}
+
+// onionAddr is the net.Addr of onion streams.
+type onionAddr struct{ host string }
+
+func (a onionAddr) Network() string { return "onion" }
+func (a onionAddr) String() string  { return a.host }
+
+// LocalAddr implements net.Conn.
+func (s *Stream) LocalAddr() net.Addr { return onionAddr{host: s.circ.ep.id} }
+
+// RemoteAddr implements net.Conn.
+func (s *Stream) RemoteAddr() net.Addr {
+	return onionAddr{host: fmt.Sprintf("circuit-%d-stream-%d", s.circ.id, s.id)}
+}
+
+// SetDeadline implements net.Conn.
+func (s *Stream) SetDeadline(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readDeadline = t
+	s.writeDeadline = t
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readDeadline = t
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (s *Stream) SetWriteDeadline(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeDeadline = t
+	return nil
+}

@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEMDLinear(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q []float64
+		want float64
+	}{
+		{"identical", []float64{0.5, 0.5}, []float64{0.5, 0.5}, 0},
+		{"adjacent move", []float64{1, 0}, []float64{0, 1}, 1},
+		{"two bins away", []float64{1, 0, 0}, []float64{0, 0, 1}, 2},
+		{"split", []float64{1, 0, 0}, []float64{0.5, 0, 0.5}, 1},
+		{"symmetric mass", []float64{0.5, 0, 0.5}, []float64{0, 1, 0}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := EMDLinear(tt.p, tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("EMDLinear = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEMDCircular(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q []float64
+		want float64
+	}{
+		{"identical", []float64{0.25, 0.25, 0.25, 0.25}, []float64{0.25, 0.25, 0.25, 0.25}, 0},
+		// On the circle, bin 0 and bin 3 of a 4-bin circle are adjacent.
+		{"wraparound", []float64{1, 0, 0, 0}, []float64{0, 0, 0, 1}, 1},
+		{"linear would be 3", []float64{1, 0, 0, 0}, []float64{0, 0, 0, 1}, 1},
+		{"opposite", []float64{1, 0, 0, 0}, []float64{0, 0, 1, 0}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := EMDCircular(tt.p, tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("EMDCircular = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEMDCircularNeverExceedsLinear(t *testing.T) {
+	prop := func(rawP, rawQ [12]uint8) bool {
+		p := make([]float64, 12)
+		q := make([]float64, 12)
+		var sp, sq float64
+		for i := 0; i < 12; i++ {
+			p[i] = float64(rawP[i])
+			q[i] = float64(rawQ[i])
+			sp += p[i]
+			sq += q[i]
+		}
+		if sp == 0 || sq == 0 {
+			return true
+		}
+		pn, err := Normalize(p)
+		if err != nil {
+			return false
+		}
+		qn, err := Normalize(q)
+		if err != nil {
+			return false
+		}
+		lin, err1 := EMDLinear(pn, qn)
+		circ, err2 := EMDCircular(pn, qn)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return circ <= lin+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEMDMetricProperties(t *testing.T) {
+	mk := func(raw [8]uint8) ([]float64, bool) {
+		xs := make([]float64, 8)
+		var s float64
+		for i := range raw {
+			xs[i] = float64(raw[i])
+			s += xs[i]
+		}
+		if s == 0 {
+			return nil, false
+		}
+		n, err := Normalize(xs)
+		if err != nil {
+			return nil, false
+		}
+		return n, true
+	}
+
+	t.Run("symmetry", func(t *testing.T) {
+		prop := func(rawP, rawQ [8]uint8) bool {
+			p, okP := mk(rawP)
+			q, okQ := mk(rawQ)
+			if !okP || !okQ {
+				return true
+			}
+			ab, _ := EMDCircular(p, q)
+			ba, _ := EMDCircular(q, p)
+			return almostEqual(ab, ba, 1e-9)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("identity", func(t *testing.T) {
+		prop := func(raw [8]uint8) bool {
+			p, ok := mk(raw)
+			if !ok {
+				return true
+			}
+			d, _ := EMDCircular(p, p)
+			return almostEqual(d, 0, 1e-9)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("non-negativity", func(t *testing.T) {
+		prop := func(rawP, rawQ [8]uint8) bool {
+			p, okP := mk(rawP)
+			q, okQ := mk(rawQ)
+			if !okP || !okQ {
+				return true
+			}
+			d, _ := EMDCircular(p, q)
+			return d >= -1e-12
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("triangle inequality", func(t *testing.T) {
+		prop := func(rawP, rawQ, rawR [8]uint8) bool {
+			p, okP := mk(rawP)
+			q, okQ := mk(rawQ)
+			r, okR := mk(rawR)
+			if !okP || !okQ || !okR {
+				return true
+			}
+			pq, _ := EMDCircular(p, q)
+			qr, _ := EMDCircular(q, r)
+			pr, _ := EMDCircular(p, r)
+			return pr <= pq+qr+1e-9
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("rotation invariance", func(t *testing.T) {
+		prop := func(rawP, rawQ [8]uint8, k int8) bool {
+			p, okP := mk(rawP)
+			q, okQ := mk(rawQ)
+			if !okP || !okQ {
+				return true
+			}
+			d1, _ := EMDCircular(p, q)
+			d2, _ := EMDCircular(Rotate(p, int(k)), Rotate(q, int(k)))
+			return almostEqual(d1, d2, 1e-9)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestEMDErrors(t *testing.T) {
+	if _, err := EMDLinear([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := EMDLinear(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := EMDLinear([]float64{1, 0}, []float64{0.2, 0.2}); err == nil {
+		t.Error("unequal mass should fail")
+	}
+	if _, err := EMDCircular([]float64{1, -0.5, 0.5}, []float64{0.5, 0, 0.5}); err == nil {
+		t.Error("negative mass should fail")
+	}
+}
+
+func TestEMDShiftCost(t *testing.T) {
+	// Shifting a concentrated distribution by k bins on a 24-bin circle
+	// should cost about min(k, 24-k) per unit mass.
+	base := make([]float64, 24)
+	base[12] = 1
+	for k := 0; k <= 23; k++ {
+		shifted := Rotate(base, -k)
+		d, err := EMDCircular(base, shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k)
+		if k > 12 {
+			want = float64(24 - k)
+		}
+		if !almostEqual(d, want, 1e-9) {
+			t.Errorf("shift %d: EMD = %g, want %g", k, d, want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		if got := median(tt.in); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("median(%v) = %g, want %g", tt.in, got, tt.want)
+		}
+	}
+	// median must not mutate its input.
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("median mutated its input")
+	}
+}
+
+func TestEMDUniformVsPeaked(t *testing.T) {
+	// A peaked profile should be far from uniform; this is the flat-profile
+	// polishing criterion's discriminative signal (§IV-C).
+	uniform := make([]float64, 24)
+	for i := range uniform {
+		uniform[i] = 1.0 / 24
+	}
+	peaked := make([]float64, 24)
+	peaked[21] = 1
+	d, err := EMDCircular(uniform, peaked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 3 {
+		t.Errorf("EMD(uniform, peaked) = %g, expected substantial distance", d)
+	}
+	if math.IsNaN(d) {
+		t.Error("NaN distance")
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Gaussian is one component of a placement model: a normal density with a
+// weight. In the paper's setting the x axis is the circle of the 24 time
+// zones, the mean is the time zone a crowd component lives in, and sigma is
+// empirically about 2.5 zones (§IV-A).
+type Gaussian struct {
+	// Weight is the mixing proportion of the component (1 for a single
+	// Gaussian fit).
+	Weight float64
+	// Mean is the component centre, in time-zone axis units.
+	Mean float64
+	// Sigma is the standard deviation, in time-zone axis units.
+	Sigma float64
+}
+
+// PDF evaluates the (non-circular) normal density at x.
+func (g Gaussian) PDF(x float64) float64 {
+	if g.Sigma <= 0 {
+		return 0
+	}
+	d := (x - g.Mean) / g.Sigma
+	return math.Exp(-0.5*d*d) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// WrappedPDF evaluates the density wrapped on a circle of the given period,
+// summing the three nearest branch contributions. For sigma well below the
+// period (the paper's regime, sigma ~ 2.5 versus period 24) the truncation
+// error is negligible.
+func (g Gaussian) WrappedPDF(x, period float64) float64 {
+	if g.Sigma <= 0 || period <= 0 {
+		return 0
+	}
+	var s float64
+	for k := -1; k <= 1; k++ {
+		s += g.PDF(x + float64(k)*period)
+	}
+	return s
+}
+
+// Mixture is a weighted sum of Gaussian components, the model the paper
+// fits to crowd placement histograms (§IV-B). Component weights should sum
+// to one.
+type Mixture []Gaussian
+
+// Eval evaluates the mixture density at x on the circle of the given
+// period.
+func (m Mixture) Eval(x, period float64) float64 {
+	var s float64
+	for _, g := range m {
+		s += g.Weight * g.WrappedPDF(x, period)
+	}
+	return s
+}
+
+// Curve samples the mixture at the integer bin centres 0..n-1 on a circle
+// of period n. With unit-width bins the sampled curve approximates a
+// probability distribution summing to the total mixture weight, so it is
+// directly comparable with a placement histogram.
+func (m Mixture) Curve(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Eval(float64(i), float64(n))
+	}
+	return out
+}
+
+// TotalWeight sums the component weights.
+func (m Mixture) TotalWeight() float64 {
+	var s float64
+	for _, g := range m {
+		s += g.Weight
+	}
+	return s
+}
+
+// Dominant returns the component with the largest weight. It returns an
+// error for an empty mixture.
+func (m Mixture) Dominant() (Gaussian, error) {
+	if len(m) == 0 {
+		return Gaussian{}, errors.New("stats: empty mixture")
+	}
+	best := 0
+	for i := range m {
+		if m[i].Weight > m[best].Weight {
+			best = i
+		}
+	}
+	return m[best], nil
+}
+
+// FitGaussianCircular fits a single scaled Gaussian to a histogram sampled
+// at the integer bin centres 0..len(ys)-1 of a circle of period len(ys), by
+// least squares. The amplitude is solved in closed form for every candidate
+// (mean, sigma) pair on a fine grid, followed by a local refinement pass.
+//
+// The returned Gaussian has Weight equal to the fitted area (amplitude x
+// sigma x sqrt(2 pi)), so that Curve reproduces the fitted curve.
+func FitGaussianCircular(ys []float64) (Gaussian, error) {
+	n := len(ys)
+	if n < 3 {
+		return Gaussian{}, fmt.Errorf("stats: need at least 3 bins, got %d", n)
+	}
+	period := float64(n)
+
+	bestSSE := math.Inf(1)
+	var best Gaussian
+	try := func(mu, sigma float64) {
+		if sigma <= 0 {
+			return
+		}
+		// Closed-form amplitude: minimize sum (y_i - A g_i)^2 => A = <y,g>/<g,g>.
+		var yg, gg float64
+		for i := 0; i < n; i++ {
+			g := wrappedUnitGaussian(float64(i), mu, sigma, period)
+			yg += ys[i] * g
+			gg += g * g
+		}
+		if gg == 0 {
+			return
+		}
+		amp := yg / gg
+		if amp < 0 {
+			amp = 0
+		}
+		var sse float64
+		for i := 0; i < n; i++ {
+			g := amp * wrappedUnitGaussian(float64(i), mu, sigma, period)
+			d := ys[i] - g
+			sse += d * d
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			best = Gaussian{
+				Weight: amp * sigma * math.Sqrt(2*math.Pi),
+				Mean:   math.Mod(mu+period, period),
+				Sigma:  sigma,
+			}
+		}
+	}
+
+	// Coarse grid.
+	for mu := 0.0; mu < period; mu += 0.25 {
+		for sigma := 0.5; sigma <= 6.0; sigma += 0.25 {
+			try(mu, sigma)
+		}
+	}
+	// Refinement around the best coarse solution.
+	coarse := best
+	for dmu := -0.25; dmu <= 0.25; dmu += 0.02 {
+		for dsig := -0.25; dsig <= 0.25; dsig += 0.02 {
+			try(coarse.Mean+dmu, coarse.Sigma+dsig)
+		}
+	}
+	if math.IsInf(bestSSE, 1) {
+		return Gaussian{}, errors.New("stats: gaussian fit failed")
+	}
+	return best, nil
+}
+
+// wrappedUnitGaussian is exp(-d^2 / (2 sigma^2)) with d the circular
+// distance between x and mu on a circle of the given period.
+func wrappedUnitGaussian(x, mu, sigma, period float64) float64 {
+	d := math.Mod(math.Abs(x-mu), period)
+	if d > period/2 {
+		d = period - d
+	}
+	z := d / sigma
+	return math.Exp(-0.5 * z * z)
+}
+
+// CircularDiff returns the signed difference a-b wrapped to
+// (-period/2, period/2].
+func CircularDiff(a, b, period float64) float64 {
+	d := math.Mod(a-b, period)
+	if d <= -period/2 {
+		d += period
+	}
+	if d > period/2 {
+		d -= period
+	}
+	return d
+}

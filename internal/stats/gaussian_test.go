@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianPDF(t *testing.T) {
+	g := Gaussian{Weight: 1, Mean: 0, Sigma: 1}
+	if got := g.PDF(0); !almostEqual(got, 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Errorf("standard normal at 0 = %g", got)
+	}
+	if got := g.PDF(1); !almostEqual(got, math.Exp(-0.5)/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Errorf("standard normal at 1 = %g", got)
+	}
+	if got := g.PDF(3) >= g.PDF(2); got {
+		t.Error("pdf should decrease away from the mean")
+	}
+	bad := Gaussian{Weight: 1, Mean: 0, Sigma: 0}
+	if bad.PDF(0) != 0 {
+		t.Error("zero-sigma pdf should be 0")
+	}
+}
+
+func TestWrappedPDFSymmetry(t *testing.T) {
+	g := Gaussian{Weight: 1, Mean: 23, Sigma: 2}
+	// Points equidistant on the circle must have equal density: 23±1 are
+	// 0 and 22.
+	if !almostEqual(g.WrappedPDF(0, 24), g.WrappedPDF(22, 24), 1e-9) {
+		t.Errorf("wrapped pdf not symmetric across the seam: %g vs %g",
+			g.WrappedPDF(0, 24), g.WrappedPDF(22, 24))
+	}
+	if g.WrappedPDF(0, 24) <= g.PDF(0) {
+		t.Error("wrapping should add mass near the seam")
+	}
+	if g.WrappedPDF(0, 0) != 0 {
+		t.Error("non-positive period should yield 0")
+	}
+}
+
+func TestMixtureCurveMassProperty(t *testing.T) {
+	// A unit-weight mixture sampled on unit-width bins of the full circle
+	// should carry total mass close to 1.
+	prop := func(rawMean uint8, rawSigma uint8) bool {
+		mean := float64(rawMean % 24)
+		sigma := 0.5 + float64(rawSigma%40)/10 // 0.5 .. 4.4
+		m := Mixture{{Weight: 1, Mean: mean, Sigma: sigma}}
+		return almostEqual(Sum(m.Curve(24)), 1, 0.02)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixtureDominant(t *testing.T) {
+	m := Mixture{
+		{Weight: 0.3, Mean: 1, Sigma: 2},
+		{Weight: 0.7, Mean: 18, Sigma: 2},
+	}
+	d, err := m.Dominant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean != 18 {
+		t.Errorf("dominant mean = %g, want 18", d.Mean)
+	}
+	if _, err := (Mixture{}).Dominant(); err == nil {
+		t.Error("empty mixture should fail")
+	}
+	if got := m.TotalWeight(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("TotalWeight = %g", got)
+	}
+}
+
+func TestFitGaussianCircularRecovers(t *testing.T) {
+	tests := []struct {
+		name        string
+		mean, sigma float64
+	}{
+		{"centered", 12, 2.5},
+		{"near seam", 23, 2.0},
+		{"at zero", 0, 1.5},
+		{"narrow", 6, 1.0},
+		{"wide", 15, 4.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			truth := Mixture{{Weight: 1, Mean: tt.mean, Sigma: tt.sigma}}
+			ys := truth.Curve(24)
+			got, err := FitGaussianCircular(ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(CircularDiff(got.Mean, tt.mean, 24)); d > 0.2 {
+				t.Errorf("fitted mean = %g, want %g (err %g)", got.Mean, tt.mean, d)
+			}
+			if math.Abs(got.Sigma-tt.sigma) > 0.25 {
+				t.Errorf("fitted sigma = %g, want %g", got.Sigma, tt.sigma)
+			}
+			if math.Abs(got.Weight-1) > 0.1 {
+				t.Errorf("fitted weight = %g, want ~1", got.Weight)
+			}
+		})
+	}
+}
+
+func TestFitGaussianCircularNoisy(t *testing.T) {
+	truth := Mixture{{Weight: 1, Mean: 9, Sigma: 2.5}}
+	ys := truth.Curve(24)
+	// Deterministic "noise".
+	for i := range ys {
+		ys[i] += 0.005 * math.Sin(float64(7*i))
+		if ys[i] < 0 {
+			ys[i] = 0
+		}
+	}
+	got, err := FitGaussianCircular(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(CircularDiff(got.Mean, 9, 24)); d > 0.5 {
+		t.Errorf("fitted mean = %g, want ~9", got.Mean)
+	}
+}
+
+func TestFitGaussianCircularErrors(t *testing.T) {
+	if _, err := FitGaussianCircular([]float64{1, 2}); err == nil {
+		t.Error("too few bins should fail")
+	}
+}
+
+func TestCircularDiff(t *testing.T) {
+	tests := []struct {
+		a, b, period, want float64
+	}{
+		{1, 23, 24, 2},
+		{23, 1, 24, -2},
+		{0, 12, 24, 12}, // boundary maps to +period/2
+		{5, 5, 24, 0},
+		{20, 4, 24, -8},
+	}
+	for _, tt := range tests {
+		if got := CircularDiff(tt.a, tt.b, tt.period); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("CircularDiff(%g, %g) = %g, want %g", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCircularDiffProperty(t *testing.T) {
+	bounded := func(a, b uint16) bool {
+		d := CircularDiff(float64(a%240)/10, float64(b%240)/10, 24)
+		return d > -12-1e-9 && d <= 12+1e-9
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Error(err)
+	}
+	antisym := func(a, b uint16) bool {
+		x := float64(a%240) / 10
+		y := float64(b%240) / 10
+		d1 := CircularDiff(x, y, 24)
+		d2 := CircularDiff(y, x, 24)
+		// Antisymmetric except at the +12 boundary, where both map to +12.
+		return almostEqual(d1, -d2, 1e-9) || (almostEqual(math.Abs(d1), 12, 1e-9) && almostEqual(math.Abs(d2), 12, 1e-9))
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+}

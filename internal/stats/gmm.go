@@ -1,0 +1,312 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Expectation-Maximization for one-dimensional Gaussian mixtures on a
+// circle. The paper (§IV-B) fits a Gaussian Mixture Model to the placement
+// histogram of a crowd because the number of regions the crowd comes from
+// is unknown a priori; EM estimates the maximum-likelihood parameters for a
+// fixed number of components, and this package selects the number of
+// components with the Bayesian Information Criterion.
+
+// EMConfig parameterizes mixture estimation.
+type EMConfig struct {
+	// Period is the circumference of the circular domain
+	// (24 for time zones). Required.
+	Period float64
+	// InitSigma is the initial standard deviation of every component. The
+	// paper initializes EM with the sigma ~ 2.5 observed on single-region
+	// placements. Defaults to 2.5.
+	InitSigma float64
+	// MaxIter bounds EM iterations per run. Defaults to 200.
+	MaxIter int
+	// Tol is the log-likelihood convergence threshold. Defaults to 1e-7.
+	Tol float64
+	// MinSigma and MaxSigma clamp component widths to keep the model in
+	// the wrapped-Gaussian regime. MinSigma defaults to 1.3: the paper's
+	// single-region placements spread with sigma ~2.5, and DST smears
+	// every DST-observing crowd across two adjacent zones, so narrower
+	// components are always overfits of single histogram bins. MaxSigma
+	// defaults to 6.
+	MinSigma, MaxSigma float64
+	// MinWeight prunes components that capture less than this share of
+	// the crowd after convergence. Defaults to 0.04.
+	MinWeight float64
+	// MergeRadius merges converged components whose means are closer than
+	// this many zones: DST spreads one region across two adjacent zones,
+	// so sub-1.6-zone splits are artefacts, not separate regions.
+	// Defaults to 1.6.
+	MergeRadius float64
+}
+
+func (c EMConfig) withDefaults() EMConfig {
+	if c.InitSigma == 0 {
+		c.InitSigma = 2.5
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 200
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-7
+	}
+	if c.MinSigma == 0 {
+		c.MinSigma = 1.3
+	}
+	if c.MaxSigma == 0 {
+		c.MaxSigma = 6
+	}
+	if c.MinWeight == 0 {
+		c.MinWeight = 0.04
+	}
+	if c.MergeRadius == 0 {
+		c.MergeRadius = 1.6
+	}
+	return c
+}
+
+// EMResult is the outcome of one EM run.
+type EMResult struct {
+	Mixture       Mixture
+	LogLikelihood float64
+	Iterations    int
+	BIC           float64
+}
+
+// FitMixtureEM runs EM with exactly k components on the samples (positions
+// on the circle, e.g. per-user placement zones as indices 0..23).
+func FitMixtureEM(samples []float64, k int, cfg EMConfig) (EMResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Period <= 0 {
+		return EMResult{}, errors.New("stats: EMConfig.Period must be positive")
+	}
+	if k <= 0 {
+		return EMResult{}, fmt.Errorf("stats: component count must be positive, got %d", k)
+	}
+	n := len(samples)
+	if n < k {
+		return EMResult{}, fmt.Errorf("stats: %d samples cannot support %d components", n, k)
+	}
+
+	mix := initComponents(samples, k, cfg)
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+
+	prevLL := math.Inf(-1)
+	var iter int
+	var ll float64
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		// E-step.
+		ll = 0
+		for i, x := range samples {
+			var total float64
+			for j, g := range mix {
+				p := g.Weight * g.WrappedPDF(x, cfg.Period)
+				resp[i][j] = p
+				total += p
+			}
+			if total <= 0 {
+				// Degenerate point: spread responsibility uniformly.
+				for j := range resp[i] {
+					resp[i][j] = 1 / float64(k)
+				}
+				total = 1e-300
+			} else {
+				for j := range resp[i] {
+					resp[i][j] /= total
+				}
+			}
+			ll += math.Log(total)
+		}
+
+		// M-step.
+		for j := range mix {
+			var rsum, sinSum, cosSum float64
+			for i, x := range samples {
+				r := resp[i][j]
+				rsum += r
+				theta := 2 * math.Pi * x / cfg.Period
+				sinSum += r * math.Sin(theta)
+				cosSum += r * math.Cos(theta)
+			}
+			if rsum <= 0 {
+				continue
+			}
+			mu := math.Atan2(sinSum, cosSum) * cfg.Period / (2 * math.Pi)
+			mu = math.Mod(mu+cfg.Period, cfg.Period)
+			var varSum float64
+			for i, x := range samples {
+				d := CircularDiff(x, mu, cfg.Period)
+				varSum += resp[i][j] * d * d
+			}
+			sigma := math.Sqrt(varSum / rsum)
+			sigma = math.Min(math.Max(sigma, cfg.MinSigma), cfg.MaxSigma)
+			mix[j] = Gaussian{Weight: rsum / float64(n), Mean: mu, Sigma: sigma}
+		}
+
+		if ll-prevLL < cfg.Tol && iter > 0 {
+			break
+		}
+		prevLL = ll
+	}
+
+	params := float64(3*k - 1)
+	bic := params*math.Log(float64(n)) - 2*ll
+	sortMixture(mix)
+	return EMResult{Mixture: mix, LogLikelihood: ll, Iterations: iter + 1, BIC: bic}, nil
+}
+
+// SelectMixture fits mixtures with 1..maxK components and returns the one
+// minimizing BIC, after pruning components lighter than cfg.MinWeight and
+// merging components closer than one zone. This reproduces the paper's
+// uncovering of "the different number of regions per crowd given by the
+// number of different Gaussian curves" (§IV-B).
+func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) {
+	cfg = cfg.withDefaults()
+	if maxK <= 0 {
+		return EMResult{}, fmt.Errorf("stats: maxK must be positive, got %d", maxK)
+	}
+	var best EMResult
+	found := false
+	for k := 1; k <= maxK && k <= len(samples); k++ {
+		res, err := FitMixtureEM(samples, k, cfg)
+		if err != nil {
+			return EMResult{}, fmt.Errorf("stats: EM with k=%d: %w", k, err)
+		}
+		if !found || res.BIC < best.BIC {
+			best = res
+			found = true
+		}
+	}
+	if !found {
+		return EMResult{}, ErrEmptyInput
+	}
+	best.Mixture = tidyMixture(best.Mixture, cfg)
+	return best, nil
+}
+
+// initComponents places the initial means on the k strongest well-separated
+// peaks of the sample histogram, falling back to even spacing. The
+// initialization is deterministic, so every fit is reproducible.
+func initComponents(samples []float64, k int, cfg EMConfig) Mixture {
+	bins := int(math.Round(cfg.Period))
+	if bins < 1 {
+		bins = 1
+	}
+	hist := make([]float64, bins)
+	for _, x := range samples {
+		idx := int(math.Mod(math.Floor(x+0.5), float64(bins)))
+		if idx < 0 {
+			idx += bins
+		}
+		hist[idx]++
+	}
+	type peak struct {
+		bin   int
+		count float64
+	}
+	peaks := make([]peak, 0, bins)
+	for i, c := range hist {
+		peaks = append(peaks, peak{bin: i, count: c})
+	}
+	sort.Slice(peaks, func(i, j int) bool {
+		if peaks[i].count != peaks[j].count {
+			return peaks[i].count > peaks[j].count
+		}
+		return peaks[i].bin < peaks[j].bin
+	})
+
+	minSep := cfg.Period / float64(2*k)
+	if minSep > 3 {
+		minSep = 3
+	}
+	var means []float64
+	for _, p := range peaks {
+		if len(means) == k {
+			break
+		}
+		ok := true
+		for _, m := range means {
+			if math.Abs(CircularDiff(float64(p.bin), m, cfg.Period)) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			means = append(means, float64(p.bin))
+		}
+	}
+	for i := len(means); i < k; i++ {
+		means = append(means, cfg.Period*float64(i)/float64(k))
+	}
+
+	mix := make(Mixture, k)
+	for i := range mix {
+		mix[i] = Gaussian{Weight: 1 / float64(k), Mean: means[i], Sigma: cfg.InitSigma}
+	}
+	return mix
+}
+
+// tidyMixture prunes feather-weight components and merges near-duplicates,
+// renormalizing the weights.
+func tidyMixture(mix Mixture, cfg EMConfig) Mixture {
+	kept := make(Mixture, 0, len(mix))
+	for _, g := range mix {
+		if g.Weight >= cfg.MinWeight {
+			kept = append(kept, g)
+		}
+	}
+	if len(kept) == 0 && len(mix) > 0 {
+		d, err := mix.Dominant()
+		if err == nil {
+			kept = Mixture{d}
+		}
+	}
+	// Merge components closer than the merge radius.
+	merged := make(Mixture, 0, len(kept))
+	used := make([]bool, len(kept))
+	for i := range kept {
+		if used[i] {
+			continue
+		}
+		g := kept[i]
+		for j := i + 1; j < len(kept); j++ {
+			if used[j] {
+				continue
+			}
+			if math.Abs(CircularDiff(g.Mean, kept[j].Mean, cfg.Period)) < cfg.MergeRadius {
+				w := g.Weight + kept[j].Weight
+				g.Mean = math.Mod(g.Mean+CircularDiff(kept[j].Mean, g.Mean, cfg.Period)*kept[j].Weight/w+cfg.Period, cfg.Period)
+				g.Sigma = (g.Sigma*g.Weight + kept[j].Sigma*kept[j].Weight) / w
+				g.Weight = w
+				used[j] = true
+			}
+		}
+		merged = append(merged, g)
+	}
+	total := merged.TotalWeight()
+	if total > 0 {
+		for i := range merged {
+			merged[i].Weight /= total
+		}
+	}
+	sortMixture(merged)
+	return merged
+}
+
+// sortMixture orders components by descending weight, then ascending mean,
+// so results have a canonical presentation.
+func sortMixture(m Mixture) {
+	sort.Slice(m, func(i, j int) bool {
+		if m[i].Weight != m[j].Weight {
+			return m[i].Weight > m[j].Weight
+		}
+		return m[i].Mean < m[j].Mean
+	})
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleMixture draws n deterministic samples from the mixture on a
+// 24-circle using the provided source.
+func sampleMixture(rng *rand.Rand, m Mixture, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Pick component by weight.
+		u := rng.Float64() * m.TotalWeight()
+		var g Gaussian
+		for _, c := range m {
+			if u < c.Weight {
+				g = c
+				break
+			}
+			u -= c.Weight
+		}
+		if g.Sigma == 0 {
+			g = m[len(m)-1]
+		}
+		x := math.Mod(rng.NormFloat64()*g.Sigma+g.Mean+240, 24)
+		out = append(out, x)
+	}
+	return out
+}
+
+func TestFitMixtureEMSingleComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := Mixture{{Weight: 1, Mean: 13, Sigma: 2.5}}
+	samples := sampleMixture(rng, truth, 2000)
+	res, err := FitMixtureEM(samples, 1, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Mixture[0]
+	if d := math.Abs(CircularDiff(got.Mean, 13, 24)); d > 0.3 {
+		t.Errorf("mean = %g, want ~13", got.Mean)
+	}
+	if math.Abs(got.Sigma-2.5) > 0.4 {
+		t.Errorf("sigma = %g, want ~2.5", got.Sigma)
+	}
+	if math.Abs(got.Weight-1) > 1e-9 {
+		t.Errorf("weight = %g, want 1", got.Weight)
+	}
+}
+
+func TestFitMixtureEMAcrossSeam(t *testing.T) {
+	// A component centred at UTC-1 (bin 23 on a 0..23 axis) must be
+	// recovered despite the circular seam.
+	rng := rand.New(rand.NewSource(2))
+	truth := Mixture{{Weight: 1, Mean: 23.5, Sigma: 2}}
+	samples := sampleMixture(rng, truth, 2000)
+	res, err := FitMixtureEM(samples, 1, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Mixture[0]
+	if d := math.Abs(CircularDiff(got.Mean, 23.5, 24)); d > 0.4 {
+		t.Errorf("mean = %g, want ~23.5 (circular)", got.Mean)
+	}
+}
+
+func TestSelectMixtureFindsTwoComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := Mixture{
+		{Weight: 0.7, Mean: 7, Sigma: 2},
+		{Weight: 0.3, Mean: 19, Sigma: 2},
+	}
+	samples := sampleMixture(rng, truth, 3000)
+	res, err := SelectMixture(samples, 4, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mixture) != 2 {
+		t.Fatalf("selected %d components, want 2: %+v", len(res.Mixture), res.Mixture)
+	}
+	// Components are sorted by descending weight.
+	if d := math.Abs(CircularDiff(res.Mixture[0].Mean, 7, 24)); d > 0.6 {
+		t.Errorf("dominant mean = %g, want ~7", res.Mixture[0].Mean)
+	}
+	if d := math.Abs(CircularDiff(res.Mixture[1].Mean, 19, 24)); d > 0.8 {
+		t.Errorf("secondary mean = %g, want ~19", res.Mixture[1].Mean)
+	}
+	if res.Mixture[0].Weight < res.Mixture[1].Weight {
+		t.Error("mixture not sorted by weight")
+	}
+	if math.Abs(res.Mixture[0].Weight-0.7) > 0.08 {
+		t.Errorf("dominant weight = %g, want ~0.7", res.Mixture[0].Weight)
+	}
+}
+
+func TestSelectMixtureFindsThreeComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := Mixture{
+		{Weight: 0.45, Mean: 4, Sigma: 1.8},
+		{Weight: 0.35, Mean: 12, Sigma: 1.8},
+		{Weight: 0.20, Mean: 20, Sigma: 1.8},
+	}
+	samples := sampleMixture(rng, truth, 4000)
+	res, err := SelectMixture(samples, 5, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mixture) != 3 {
+		t.Fatalf("selected %d components, want 3: %+v", len(res.Mixture), res.Mixture)
+	}
+	wantMeans := []float64{4, 12, 20}
+	for _, want := range wantMeans {
+		found := false
+		for _, g := range res.Mixture {
+			if math.Abs(CircularDiff(g.Mean, want, 24)) < 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no component near %g in %+v", want, res.Mixture)
+		}
+	}
+}
+
+func TestSelectMixtureSingleRegionPrefersOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth := Mixture{{Weight: 1, Mean: 10, Sigma: 2.5}}
+	samples := sampleMixture(rng, truth, 1500)
+	res, err := SelectMixture(samples, 4, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mixture) != 1 {
+		t.Fatalf("selected %d components for single-region crowd, want 1: %+v",
+			len(res.Mixture), res.Mixture)
+	}
+}
+
+func TestFitMixtureEMErrors(t *testing.T) {
+	if _, err := FitMixtureEM([]float64{1, 2, 3}, 0, EMConfig{Period: 24}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := FitMixtureEM([]float64{1}, 2, EMConfig{Period: 24}); err == nil {
+		t.Error("more components than samples should fail")
+	}
+	if _, err := FitMixtureEM([]float64{1, 2}, 1, EMConfig{}); err == nil {
+		t.Error("missing period should fail")
+	}
+	if _, err := SelectMixture([]float64{1, 2, 3}, 0, EMConfig{Period: 24}); err == nil {
+		t.Error("maxK=0 should fail")
+	}
+	if _, err := SelectMixture(nil, 3, EMConfig{Period: 24}); err == nil {
+		t.Error("empty samples should fail")
+	}
+}
+
+func TestEMWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	truth := Mixture{
+		{Weight: 0.5, Mean: 3, Sigma: 2},
+		{Weight: 0.5, Mean: 15, Sigma: 2},
+	}
+	samples := sampleMixture(rng, truth, 1000)
+	for k := 1; k <= 3; k++ {
+		res, err := FitMixtureEM(samples, k, EMConfig{Period: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(res.Mixture.TotalWeight(), 1, 1e-6) {
+			t.Errorf("k=%d: weights sum to %g", k, res.Mixture.TotalWeight())
+		}
+		if res.Iterations <= 0 {
+			t.Errorf("k=%d: non-positive iteration count", k)
+		}
+	}
+}
+
+func TestEMLikelihoodImprovesWithBetterModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := Mixture{
+		{Weight: 0.5, Mean: 2, Sigma: 1.5},
+		{Weight: 0.5, Mean: 14, Sigma: 1.5},
+	}
+	samples := sampleMixture(rng, truth, 1500)
+	one, err := FitMixtureEM(samples, 1, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := FitMixtureEM(samples, 2, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.LogLikelihood <= one.LogLikelihood {
+		t.Errorf("k=2 log-likelihood %g should beat k=1 %g for bimodal data",
+			two.LogLikelihood, one.LogLikelihood)
+	}
+	if two.BIC >= one.BIC {
+		t.Errorf("k=2 BIC %g should beat k=1 BIC %g for bimodal data", two.BIC, one.BIC)
+	}
+}
+
+func TestTidyMixtureMergesClose(t *testing.T) {
+	cfg := EMConfig{Period: 24}.withDefaults()
+	m := Mixture{
+		{Weight: 0.5, Mean: 10, Sigma: 2},
+		{Weight: 0.4, Mean: 10.5, Sigma: 2},
+		{Weight: 0.1, Mean: 20, Sigma: 2},
+	}
+	out := tidyMixture(m, cfg)
+	if len(out) != 2 {
+		t.Fatalf("merged mixture has %d components, want 2: %+v", len(out), out)
+	}
+	if !almostEqual(out.TotalWeight(), 1, 1e-9) {
+		t.Errorf("weights sum to %g", out.TotalWeight())
+	}
+	if d := math.Abs(CircularDiff(out[0].Mean, 10.22, 24)); d > 0.1 {
+		t.Errorf("merged mean = %g, want ~10.22", out[0].Mean)
+	}
+}
+
+func TestTidyMixturePrunesLight(t *testing.T) {
+	cfg := EMConfig{Period: 24}.withDefaults()
+	m := Mixture{
+		{Weight: 0.97, Mean: 5, Sigma: 2},
+		{Weight: 0.03, Mean: 18, Sigma: 2},
+	}
+	out := tidyMixture(m, cfg)
+	if len(out) != 1 {
+		t.Fatalf("pruned mixture has %d components, want 1", len(out))
+	}
+	if !almostEqual(out[0].Weight, 1, 1e-9) {
+		t.Errorf("surviving weight = %g, want 1", out[0].Weight)
+	}
+}

@@ -1,0 +1,283 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+// Builders for the specific datasets of the paper's evaluation. Every
+// builder is deterministic under its seed argument.
+
+// TableIUserCounts reproduces Table I: active users per country/state in
+// the Twitter dataset.
+var tableIUserCounts = map[string]int{
+	"br":     3763, // Brazil
+	"us-ca":  2868, // California
+	"fi":     73,   // Finland
+	"fr":     2222, // France
+	"de":     470,  // Germany
+	"us-il":  794,  // Illinois
+	"it":     734,  // Italy
+	"jp":     3745, // Japan
+	"my":     1714, // Malaysia
+	"au-nsw": 151,  // New South Wales
+	"us-ny":  1417, // New York
+	"pl":     375,  // Poland
+	"tr":     1019, // Turkey
+	"uk":     3231, // United Kingdom
+}
+
+// TableIUserCount returns the paper's Table I active-user count for a
+// region code.
+func TableIUserCount(code string) (int, error) {
+	n, ok := tableIUserCounts[code]
+	if !ok {
+		return 0, fmt.Errorf("synth: region %q not in Table I", code)
+	}
+	return n, nil
+}
+
+// TwitterOptions scales the Twitter dataset builder.
+type TwitterOptions struct {
+	// Scale divides every Table I user count (minimum 1 user per region)
+	// to keep experiment turnaround practical; 1 reproduces the full
+	// 22,576-user dataset. Defaults to 1.
+	Scale int
+	// PostsPerUser is the target posting volume. Defaults to 90, enough
+	// for the 30-post activity threshold to pass for almost everyone.
+	PostsPerUser float64
+	// BotFraction injects flat-profile users (unlabelled in Table I but
+	// present in real data per §IV-C). Defaults to 0 — polishing
+	// experiments add bots explicitly.
+	BotFraction float64
+}
+
+// TwitterDataset builds the synthetic stand-in for the Archive Team
+// Twitter stream grab: one group per Table I region, with the paper's
+// active-user counts (optionally scaled down).
+func TwitterDataset(seed int64, opts TwitterOptions) (*trace.Dataset, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.PostsPerUser == 0 {
+		opts.PostsPerUser = 90
+	}
+	var groups []Group
+	for _, region := range tz.TableIRegions() {
+		count, err := TableIUserCount(region.Code)
+		if err != nil {
+			return nil, err
+		}
+		users := count / opts.Scale
+		if users < 1 {
+			users = 1
+		}
+		groups = append(groups, Group{
+			Region:       region,
+			Users:        users,
+			PostsPerUser: opts.PostsPerUser,
+		})
+		if opts.BotFraction > 0 {
+			bots := int(float64(users) * opts.BotFraction)
+			if bots < 1 {
+				bots = 1
+			}
+			groups = append(groups, Group{
+				Region:       region,
+				Users:        bots,
+				PostsPerUser: opts.PostsPerUser,
+				Kind:         KindBot,
+				Label:        region.Code,
+				IDPrefix:     region.Code + "-bot",
+			})
+		}
+	}
+	return GenerateCrowd(seed, CrowdConfig{Name: "twitter-synth", Groups: groups})
+}
+
+// mustRegion resolves a catalogue code, panicking on programmer error.
+// It is unexported and only used with compile-time-constant codes that the
+// catalogue tests cover.
+func mustRegion(code string) tz.Region {
+	r, err := tz.ByCode(code)
+	if err != nil {
+		panic(fmt.Sprintf("synth: bad built-in region code: %v", err))
+	}
+	return r
+}
+
+// ForumSpec describes one of the paper's five Dark Web forums: its name,
+// its §V user/post census, and the region mixture the paper uncovered for
+// its crowd (which the generator uses as ground truth).
+type ForumSpec struct {
+	// Name is the forum's name as used in the paper.
+	Name string
+	// Onion is the hidden-service hostname reported in the paper.
+	Onion string
+	// Users and Posts are the §V census after the cleaning step.
+	Users int
+	// Posts is the paper's total post count for the forum.
+	Posts int
+	// Mix maps region codes to crowd shares (summing to 1).
+	Mix map[string]float64
+	// ServerOffsetHours is the simulated forum clock skew from UTC that
+	// the crawler must discover via the Welcome-thread probe (§V: "the
+	// timestamp can be deliberately shifted").
+	ServerOffsetHours int
+}
+
+// ForumSpecs returns the five §V forums in paper order.
+func ForumSpecs() []ForumSpec {
+	return []ForumSpec{
+		{
+			Name:  "CRD Club",
+			Onion: "crdclub4wraumez4.onion",
+			Users: 209, Posts: 14809,
+			// "the Gaussian mean falls between the UTC+3 ... and the
+			// UTC+4 time zones" — Russian-speaking countries.
+			Mix:               map[string]float64{"ru-msk": 0.62, "ae": 0.38},
+			ServerOffsetHours: 3,
+		},
+		{
+			Name:  "Italian DarkNet Community",
+			Onion: "idcrldul6umarqwi.onion",
+			Users: 52, Posts: 1711,
+			// "a single component centered close to the UTC+1 and
+			// slightly shifted towards UTC+2".
+			Mix:               map[string]float64{"it": 0.84, "fi": 0.16},
+			ServerOffsetHours: 0,
+		},
+		{
+			Name:  "Dream Market",
+			Onion: "tmskhzavkycdupbr.onion",
+			Users: 189, Posts: 14499,
+			// "The smallest component is centered in the UTC-6 time zone
+			// ... the largest one is in the UTC+1 time zone".
+			Mix:               map[string]float64{"de": 0.68, "us-cen": 0.32},
+			ServerOffsetHours: -2,
+		},
+		{
+			Name:  "The Majestic Garden",
+			Onion: "bm26rwk32m7u7rec.onion",
+			Users: 638, Posts: 75875,
+			// "The largest one is centered on UTC-6 ... the second one
+			// falls into UTC+1. This is a mostly American forum."
+			Mix:               map[string]float64{"us-cen": 0.64, "fr": 0.36},
+			ServerOffsetHours: 5,
+		},
+		{
+			Name:  "Pedo Support Community",
+			Onion: "support26v5pvkg6.onion",
+			Users: 290, Posts: 44876,
+			// "three Gaussian components ... the highest one centered
+			// between UTC-8 and UTC-7 ... the second in UTC-3 ... the
+			// last one smaller and centered in UTC+4"; the UTC-3
+			// component lives in Southern Brazil / Paraguay (§V-F).
+			Mix:               map[string]float64{"us-pac": 0.47, "br": 0.36, "ae": 0.17},
+			ServerOffsetHours: 1,
+		},
+	}
+}
+
+// ForumSpecByName finds a forum spec by its paper name.
+func ForumSpecByName(name string) (ForumSpec, error) {
+	for _, spec := range ForumSpecs() {
+		if spec.Name == name {
+			return spec, nil
+		}
+	}
+	return ForumSpec{}, fmt.Errorf("synth: unknown forum %q", name)
+}
+
+// ForumCrowd builds the ground-truth activity trace of a forum's crowd: a
+// region mixture with the paper's user count and total post volume.
+func ForumCrowd(seed int64, spec ForumSpec) (*trace.Dataset, error) {
+	if spec.Users <= 0 || spec.Posts <= 0 {
+		return nil, fmt.Errorf("synth: forum %q has invalid census %d/%d", spec.Name, spec.Users, spec.Posts)
+	}
+	postsPerUser := float64(spec.Posts) / float64(spec.Users)
+	var groups []Group
+	remaining := spec.Users
+	codes := sortedKeys(spec.Mix)
+	for i, code := range codes {
+		share := spec.Mix[code]
+		users := int(float64(spec.Users)*share + 0.5)
+		if i == len(codes)-1 {
+			users = remaining
+		}
+		if users <= 0 {
+			continue
+		}
+		if users > remaining {
+			users = remaining
+		}
+		remaining -= users
+		groups = append(groups, Group{
+			Region:       mustRegion(code),
+			Users:        users,
+			PostsPerUser: postsPerUser,
+		})
+	}
+	return GenerateCrowd(seed, CrowdConfig{Name: spec.Name, Groups: groups})
+}
+
+// RezonedRegion returns a copy of the region relocated to a different
+// offset with no DST — used for the Fig. 6(a) synthetic crowd, which
+// repeats the Malaysian users' behaviour "according to three different
+// timezones: UTC, Californian (UTC-7), and the Australian region of New
+// South Wales (UTC+9)". (The paper quotes the DST-adjusted offsets.)
+func RezonedRegion(base tz.Region, offset tz.Offset) tz.Region {
+	out := base
+	out.Name = fmt.Sprintf("%s@%s", base.Name, offset)
+	out.Code = fmt.Sprintf("%s@%s", base.Code, offset)
+	out.StandardOffset = offset.Normalize()
+	out.DST = tz.NoDST()
+	return out
+}
+
+// Fig6aDataset builds the first §IV-B synthetic multi-region crowd: the
+// Malaysian behaviour repeated in UTC, UTC-7 and UTC+9.
+func Fig6aDataset(seed int64, usersPerZone int) (*trace.Dataset, error) {
+	if usersPerZone <= 0 {
+		return nil, fmt.Errorf("synth: usersPerZone must be positive, got %d", usersPerZone)
+	}
+	my := mustRegion("my")
+	var groups []Group
+	for _, off := range []tz.Offset{0, -7, 9} {
+		groups = append(groups, Group{
+			Region:       RezonedRegion(my, off),
+			Users:        usersPerZone,
+			PostsPerUser: 90,
+		})
+	}
+	return GenerateCrowd(seed, CrowdConfig{Name: "synthetic-a", Groups: groups})
+}
+
+// Fig6bDataset builds the second §IV-B synthetic crowd: merged users from
+// Illinois (UTC-6), Germany (UTC+1) and Malaysia (UTC+8).
+func Fig6bDataset(seed int64, usersPerRegion int) (*trace.Dataset, error) {
+	if usersPerRegion <= 0 {
+		return nil, fmt.Errorf("synth: usersPerRegion must be positive, got %d", usersPerRegion)
+	}
+	var groups []Group
+	for _, code := range []string{"us-il", "de", "my"} {
+		groups = append(groups, Group{
+			Region:       mustRegion(code),
+			Users:        usersPerRegion,
+			PostsPerUser: 90,
+		})
+	}
+	return GenerateCrowd(seed, CrowdConfig{Name: "synthetic-b", Groups: groups})
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

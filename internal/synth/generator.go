@@ -1,0 +1,234 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+// UserKind classifies the behavioural template of a synthetic user.
+type UserKind int
+
+// User kinds. Regular users follow the diurnal rhythm of their region;
+// bots post uniformly around the clock; shift workers follow a rhythm
+// displaced by roughly half a day (§IV-C mentions both as the sources of
+// flat or misleading profiles).
+const (
+	KindRegular UserKind = iota + 1
+	KindBot
+	KindShiftWorker
+)
+
+// String implements fmt.Stringer.
+func (k UserKind) String() string {
+	switch k {
+	case KindRegular:
+		return "regular"
+	case KindBot:
+		return "bot"
+	case KindShiftWorker:
+		return "shift-worker"
+	default:
+		return fmt.Sprintf("UserKind(%d)", int(k))
+	}
+}
+
+// Group describes one homogeneous sub-population of a crowd.
+type Group struct {
+	// Region is where the group lives; its offset and DST rule drive the
+	// local-to-UTC conversion.
+	Region tz.Region
+	// Users is the number of users to generate.
+	Users int
+	// PostsPerUser is the target mean number of posts per user over the
+	// generation window. Defaults to 80.
+	PostsPerUser float64
+	// Label tags the group's users in the dataset ground truth. Defaults
+	// to Region.Code.
+	Label string
+	// Kind selects the behavioural template. Defaults to KindRegular.
+	Kind UserKind
+	// IDPrefix distinguishes user IDs across groups. Defaults to Label.
+	IDPrefix string
+	// DeliberateShift displaces the whole group's rhythm by this many
+	// hours — the §VII adversarial scenario where "the crowd coordinates
+	// and users deliberately post with a profile of a different region".
+	DeliberateShift float64
+}
+
+// CrowdConfig configures GenerateCrowd.
+type CrowdConfig struct {
+	// Name names the resulting dataset.
+	Name string
+	// Groups lists the sub-populations.
+	Groups []Group
+	// Start and End bound the generation window. Default: the whole of
+	// 2017 (UTC).
+	Start, End time.Time
+	// Rhythm is the base diurnal curve. Defaults to DefaultRhythm().
+	Rhythm Rhythm
+	// ChronotypeSigma is the standard deviation, in hours, of the per-user
+	// rhythm displacement. Defaults to 1.0.
+	ChronotypeSigma float64
+	// TasteSigma is the lognormal sigma of per-user per-hour propensity
+	// noise. Defaults to 0.25.
+	TasteSigma float64
+	// VolumeSigma is the lognormal sigma of the per-user activity volume
+	// multiplier (heavy-tailed posting volume). Defaults to 0.35.
+	VolumeSigma float64
+	// SkipHolidaySuppression disables the reduced activity during the
+	// region's holiday windows.
+	SkipHolidaySuppression bool
+	// WeekendEffect enables weekend behaviour: on local Saturdays and
+	// Sundays the rhythm runs about an hour later (late nights, late
+	// mornings) with slightly higher volume. Kept optional because the
+	// paper's profiles aggregate all days of the week.
+	WeekendEffect bool
+}
+
+func (c CrowdConfig) withDefaults() CrowdConfig {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, time.January, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.End.IsZero() {
+		c.End = time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	}
+	zero := Rhythm{}
+	if c.Rhythm == zero {
+		c.Rhythm = DefaultRhythm()
+	}
+	if c.ChronotypeSigma == 0 {
+		c.ChronotypeSigma = 1.0
+	}
+	if c.TasteSigma == 0 {
+		c.TasteSigma = 0.25
+	}
+	if c.VolumeSigma == 0 {
+		c.VolumeSigma = 0.35
+	}
+	return c
+}
+
+// GenerateCrowd synthesizes a labelled activity dataset from the config,
+// deterministically under the given seed.
+func GenerateCrowd(seed int64, cfg CrowdConfig) (*trace.Dataset, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Groups) == 0 {
+		return nil, errors.New("synth: no groups configured")
+	}
+	if !cfg.End.After(cfg.Start) {
+		return nil, fmt.Errorf("synth: window end %v not after start %v", cfg.End, cfg.Start)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &trace.Dataset{Name: cfg.Name, GroundTruth: make(map[string]string)}
+	for gi, g := range cfg.Groups {
+		if g.Users <= 0 {
+			return nil, fmt.Errorf("synth: group %d has %d users", gi, g.Users)
+		}
+		if g.PostsPerUser == 0 {
+			g.PostsPerUser = 80
+		}
+		if g.Label == "" {
+			g.Label = g.Region.Code
+		}
+		if g.IDPrefix == "" {
+			g.IDPrefix = g.Label
+		}
+		if g.Kind == 0 {
+			g.Kind = KindRegular
+		}
+		for ui := 0; ui < g.Users; ui++ {
+			userID := fmt.Sprintf("%s-%04d", g.IDPrefix, ui)
+			posts := generateUser(rng, userID, g, cfg)
+			ds.Posts = append(ds.Posts, posts...)
+			ds.GroundTruth[userID] = g.Label
+		}
+	}
+	ds.SortByTime()
+	return ds, nil
+}
+
+// generateUser walks the window hour by hour in UTC, activating (day, hour)
+// cells with probability proportional to the user's rhythm evaluated at the
+// DST-aware local hour, and emits 1..3 posts per active cell.
+func generateUser(rng *rand.Rand, userID string, g Group, cfg CrowdConfig) []trace.Post {
+	rhythm := userRhythm(rng, g.Kind, cfg)
+	if g.DeliberateShift != 0 {
+		rhythm = rhythm.Shifted(g.DeliberateShift)
+	}
+
+	days := cfg.End.Sub(cfg.Start).Hours() / 24
+	// Expected posts = days * cellProb * rhythmTotal * meanPostsPerCell.
+	const meanPostsPerCell = 1.3
+	volume := math.Exp(rng.NormFloat64() * cfg.VolumeSigma)
+	target := g.PostsPerUser * volume
+	cellProb := target / (days * rhythm.Total() * meanPostsPerCell)
+	if cellProb > 0.95 {
+		cellProb = 0.95
+	}
+
+	var weekendRhythm Rhythm
+	if cfg.WeekendEffect {
+		weekendRhythm = rhythm.Shifted(1).Scale(1.15)
+	}
+
+	var posts []trace.Post
+	for t := cfg.Start; t.Before(cfg.End); t = t.Add(time.Hour) {
+		local := g.Region.LocalTime(t)
+		localHour := local.Hour()
+		active := rhythm
+		if cfg.WeekendEffect && (local.Weekday() == time.Saturday || local.Weekday() == time.Sunday) {
+			active = weekendRhythm
+		}
+		p := cellProb * active[localHour]
+		if !cfg.SkipHolidaySuppression && g.Region.IsHoliday(t) {
+			p *= 0.25 // holidays: "periods of particularly low activity"
+		}
+		if rng.Float64() >= p {
+			continue
+		}
+		n := 1
+		for n < 3 && rng.Float64() < 0.25 {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			posts = append(posts, trace.Post{
+				UserID: userID,
+				Time:   t.Add(time.Duration(rng.Intn(3600)) * time.Second),
+			})
+		}
+	}
+	return posts
+}
+
+// userRhythm derives a personal rhythm from the base curve: kind template,
+// chronotype displacement, and hour-level taste noise.
+func userRhythm(rng *rand.Rand, kind UserKind, cfg CrowdConfig) Rhythm {
+	var base Rhythm
+	switch kind {
+	case KindBot:
+		base = FlatRhythm()
+		// Bots get mild noise but no chronotype.
+		for h := range base {
+			base[h] *= math.Exp(rng.NormFloat64() * 0.05)
+		}
+		return base
+	case KindShiftWorker:
+		// Night shift: the day pattern displaced by 10-14 hours.
+		shift := 10 + rng.Float64()*4
+		base = cfg.Rhythm.Shifted(shift)
+	default:
+		base = cfg.Rhythm
+	}
+	chronotype := rng.NormFloat64() * cfg.ChronotypeSigma
+	base = base.Shifted(chronotype)
+	for h := range base {
+		base[h] *= math.Exp(rng.NormFloat64() * cfg.TasteSigma)
+	}
+	return base
+}

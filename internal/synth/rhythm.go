@@ -1,0 +1,109 @@
+// Package synth generates synthetic activity traces that stand in for the
+// paper's two data sources: the Archive Team Twitter stream grab (Table I)
+// and the five scraped Dark Web forums (§V). The generator models the
+// "everyday life rhythm" the paper's methodology exploits (§III): a diurnal
+// activity curve with a night trough between 1h and 7h, a morning ramp, a
+// lunch dip, and an evening peak between 17h and 22h — the shape reported
+// for Facebook and YouTube demand in the paper's refs [5], [6] and visible
+// in its Figures 1, 2 and 8.
+//
+// On top of the base rhythm the generator applies per-user variation
+// (chronotype shift, hour-level taste noise, heavy-tailed activity volume),
+// DST-aware local-to-UTC conversion via internal/tz, and the two
+// off-pattern populations the paper discusses: flat-profile bots and shift
+// workers (§IV-C).
+package synth
+
+import (
+	"math"
+
+	"darkcrowd/internal/tz"
+)
+
+// Rhythm is a relative propensity of activity per local hour of day. It is
+// not normalized: entry values are relative weights with the daily peak
+// close to 1.
+type Rhythm [tz.HoursPerDay]float64
+
+// DefaultRhythm returns the base diurnal curve. Values follow the shape the
+// paper describes: requests "steadily grow from the early morning to the
+// afternoon with a peak between 17:00 and 22:00, then the number of
+// requests drops rapidly during the night".
+func DefaultRhythm() Rhythm {
+	return Rhythm{
+		0:  0.42, // winding down
+		1:  0.20, // night trough starts (1h-7h per the paper)
+		2:  0.11,
+		3:  0.07,
+		4:  0.05, // lowest activity, 4am-5am local (§IV-A)
+		5:  0.07,
+		6:  0.13,
+		7:  0.26, // waking up
+		8:  0.45,
+		9:  0.58, // first morning peak (Fig. 1)
+		10: 0.62,
+		11: 0.64,
+		12: 0.60,
+		13: 0.52, // lunch dip (Fig. 1)
+		14: 0.58,
+		15: 0.66,
+		16: 0.72,
+		17: 0.78, // evening growth begins
+		18: 0.84,
+		19: 0.90,
+		20: 0.96,
+		21: 1.00, // evening peak (22h local for the German crowd, Fig. 2a)
+		22: 0.88,
+		23: 0.62,
+	}
+}
+
+// FlatRhythm returns the uniform propensity of a bot-like user: "users
+// whose activity profile are very close to being uniformly distributed over
+// all the hours" (§IV-C, Fig. 7).
+func FlatRhythm() Rhythm {
+	var r Rhythm
+	for i := range r {
+		r[i] = 0.5
+	}
+	return r
+}
+
+// Shifted returns the rhythm displaced by a possibly fractional number of
+// hours (positive = pattern happens later), using circular linear
+// interpolation. Used for chronotype variation: "youngsters tend to go to
+// sleep later than older people, parents wake up earlier than teenagers"
+// (§IV-A).
+func (r Rhythm) Shifted(hours float64) Rhythm {
+	var out Rhythm
+	n := float64(tz.HoursPerDay)
+	for h := 0; h < tz.HoursPerDay; h++ {
+		src := math.Mod(float64(h)-hours, n)
+		if src < 0 {
+			src += n
+		}
+		lo := int(math.Floor(src)) % tz.HoursPerDay
+		hi := (lo + 1) % tz.HoursPerDay
+		frac := src - math.Floor(src)
+		out[h] = r[lo]*(1-frac) + r[hi]*frac
+	}
+	return out
+}
+
+// Scale multiplies every entry by f.
+func (r Rhythm) Scale(f float64) Rhythm {
+	var out Rhythm
+	for i := range r {
+		out[i] = r[i] * f
+	}
+	return out
+}
+
+// Total returns the sum of the hourly propensities.
+func (r Rhythm) Total() float64 {
+	var s float64
+	for _, v := range r {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package tz
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The region catalogue. Offsets are standard (non-DST) offsets as of the
+// paper's data-collection period (2016-2018). Sources are noted inline
+// where the paper is explicit.
+
+func winterHolidays() []HolidayWindow {
+	return []HolidayWindow{{
+		Name:       "winter holidays",
+		StartMonth: time.December, StartDay: 20,
+		EndMonth: time.January, EndDay: 6,
+	}}
+}
+
+// Catalogue returns all built-in regions, sorted by name. The slice and its
+// contents are fresh copies; callers may mutate them freely.
+func Catalogue() []Region {
+	regions := []Region{
+		// The 14 Table I regions.
+		{Name: "Brazil", Code: "br", StandardOffset: -3, DST: SouthernDST(), Holidays: winterHolidays()},
+		{Name: "California", Code: "us-ca", StandardOffset: -8, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "Finland", Code: "fi", StandardOffset: 2, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "France", Code: "fr", StandardOffset: 1, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "Germany", Code: "de", StandardOffset: 1, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "Illinois", Code: "us-il", StandardOffset: -6, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "Italy", Code: "it", StandardOffset: 1, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "Japan", Code: "jp", StandardOffset: 9, DST: NoDST(), Holidays: winterHolidays()},
+		{Name: "Malaysia", Code: "my", StandardOffset: 8, DST: NoDST(), Holidays: winterHolidays()},
+		{Name: "New South Wales", Code: "au-nsw", StandardOffset: 10, DST: SouthernDST(), Holidays: winterHolidays()},
+		{Name: "New York", Code: "us-ny", StandardOffset: -5, DST: NorthernDST(), Holidays: winterHolidays()},
+		{Name: "Poland", Code: "pl", StandardOffset: 1, DST: NorthernDST(), Holidays: winterHolidays()},
+		// Turkey abandoned DST in September 2016 and stays on UTC+3.
+		{Name: "Turkey", Code: "tr", StandardOffset: 3, DST: NoDST(), Holidays: winterHolidays()},
+		{Name: "United Kingdom", Code: "uk", StandardOffset: 0, DST: NorthernDST(), Holidays: winterHolidays()},
+
+		// Additional regions needed by the Dark Web evaluation (§V).
+		// Russia dropped DST in 2014; Moscow is UTC+3 year round.
+		{Name: "Russia (Moscow)", Code: "ru-msk", StandardOffset: 3, DST: NoDST(), Holidays: winterHolidays()},
+		// The Caucasus / Gulf component of the Pedo Support crowd (UTC+4).
+		{Name: "United Arab Emirates", Code: "ae", StandardOffset: 4, DST: NoDST(), Holidays: nil},
+		// Southern Brazil / Paraguay: UTC-3 in (southern) summer because
+		// Paraguay's standard offset is UTC-4 with southern DST; the paper
+		// treats the component as "UTC-3, southern hemisphere, uses DST".
+		{Name: "Paraguay", Code: "py", StandardOffset: -4, DST: SouthernDST(), Holidays: nil},
+		// US Pacific component of the Pedo Support crowd (UTC-8/-7).
+		{Name: "US Pacific", Code: "us-pac", StandardOffset: -8, DST: NorthernDST(), Holidays: winterHolidays()},
+		// Central US (Chicago, New Orleans, Mexico City) component of the
+		// Dream Market and Majestic Garden crowds.
+		{Name: "US Central", Code: "us-cen", StandardOffset: -6, DST: NorthernDST(), Holidays: winterHolidays()},
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Name < regions[j].Name })
+	return regions
+}
+
+// TableIRegions returns the 14 regions of Table I, sorted by name as in the
+// paper's table.
+func TableIRegions() []Region {
+	table := map[string]bool{
+		"Brazil": true, "California": true, "Finland": true, "France": true,
+		"Germany": true, "Illinois": true, "Italy": true, "Japan": true,
+		"Malaysia": true, "New South Wales": true, "New York": true,
+		"Poland": true, "Turkey": true, "United Kingdom": true,
+	}
+	var out []Region
+	for _, r := range Catalogue() {
+		if table[r.Name] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByCode looks a region up by its short code.
+func ByCode(code string) (Region, error) {
+	for _, r := range Catalogue() {
+		if r.Code == code {
+			return r, nil
+		}
+	}
+	return Region{}, fmt.Errorf("tz: unknown region code %q", code)
+}
+
+// ByName looks a region up by its display name.
+func ByName(name string) (Region, error) {
+	for _, r := range Catalogue() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Region{}, fmt.Errorf("tz: unknown region %q", name)
+}

@@ -1,0 +1,175 @@
+// Package viz renders the reproduction's figures as standalone SVG files:
+// 24-bin activity profiles (Figures 1, 2, 7, 8) and placement histograms
+// with fitted Gaussian-mixture overlays (Figures 3-6, 9-13). Stdlib only;
+// the output opens in any browser.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart geometry.
+const (
+	chartWidth   = 720
+	chartHeight  = 360
+	marginLeft   = 56
+	marginRight  = 16
+	marginTop    = 40
+	marginBottom = 48
+)
+
+// palette: a bar fill, a curve stroke, axis grey.
+const (
+	barFill     = "#4878a8"
+	curveStroke = "#c44e52"
+	axisColor   = "#444444"
+	gridColor   = "#dddddd"
+	textColor   = "#222222"
+)
+
+// BarChart renders labelled bars (e.g. an activity profile or placement
+// histogram).
+type BarChart struct {
+	// Title is drawn across the top.
+	Title string
+	// Labels names each bar (len must equal len(Values)).
+	Labels []string
+	// Values are the bar heights (non-negative).
+	Values []float64
+	// Overlay, when non-empty, is a curve sampled at the bar centres and
+	// drawn over the bars (the fitted Gaussian mixture).
+	Overlay []float64
+	// YLabel annotates the vertical axis.
+	YLabel string
+}
+
+// SVG renders the chart.
+func (c *BarChart) SVG() (string, error) {
+	if len(c.Labels) != len(c.Values) {
+		return "", fmt.Errorf("viz: %d labels for %d values", len(c.Labels), len(c.Values))
+	}
+	if len(c.Values) == 0 {
+		return "", fmt.Errorf("viz: empty chart")
+	}
+	if len(c.Overlay) != 0 && len(c.Overlay) != len(c.Values) {
+		return "", fmt.Errorf("viz: overlay has %d points for %d bars", len(c.Overlay), len(c.Values))
+	}
+	maxVal := 0.0
+	for _, v := range c.Values {
+		if v < 0 {
+			return "", fmt.Errorf("viz: negative value %g", v)
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	for _, v := range c.Overlay {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	n := len(c.Values)
+	slot := plotW / float64(n)
+	barW := slot * 0.8
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartWidth, chartHeight)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" fill="%s">%s</text>`+"\n",
+		marginLeft, textColor, escapeXML(c.Title))
+
+	// Horizontal gridlines and y ticks at quarters.
+	for i := 0; i <= 4; i++ {
+		yVal := maxVal * float64(i) / 4
+		y := float64(marginTop) + plotH - yVal/maxVal*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y, gridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" fill="%s" text-anchor="end">%.3f</text>`+"\n",
+			marginLeft-6, y+3, textColor, yVal)
+	}
+
+	// Bars.
+	for i, v := range c.Values {
+		h := v / maxVal * plotH
+		x := float64(marginLeft) + float64(i)*slot + (slot-barW)/2
+		y := float64(marginTop) + plotH - h
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, y, barW, h, barFill)
+	}
+
+	// X labels: thin out when crowded.
+	step := 1
+	if n > 12 {
+		step = 2
+	}
+	for i := 0; i < n; i += step {
+		x := float64(marginLeft) + float64(i)*slot + slot/2
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, chartHeight-marginBottom+16, textColor, escapeXML(c.Labels[i]))
+	}
+
+	// Overlay curve.
+	if len(c.Overlay) > 0 {
+		var points []string
+		for i, v := range c.Overlay {
+			x := float64(marginLeft) + float64(i)*slot + slot/2
+			y := float64(marginTop) + plotH - v/maxVal*plotH
+			points = append(points, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(points, " "), curveStroke)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="%s" stroke-width="1.5"/>`+"\n",
+		marginLeft, marginTop, marginLeft, float64(marginTop)+plotH, axisColor)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1.5"/>`+"\n",
+		marginLeft, float64(marginTop)+plotH, chartWidth-marginRight, float64(marginTop)+plotH, axisColor)
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="11" fill="%s" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+			float64(marginTop)+plotH/2, textColor, float64(marginTop)+plotH/2, escapeXML(c.YLabel))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;",
+		"<", "&lt;",
+		">", "&gt;",
+		`"`, "&quot;",
+	)
+	return r.Replace(s)
+}
+
+// HourLabels returns "0h".."23h" for profile charts.
+func HourLabels() []string {
+	out := make([]string, 24)
+	for h := range out {
+		out[h] = fmt.Sprintf("%dh", h)
+	}
+	return out
+}
+
+// ZoneLabels returns "-11".."+12" for placement charts.
+func ZoneLabels() []string {
+	out := make([]string, 0, 24)
+	for o := -11; o <= 12; o++ {
+		if o <= 0 {
+			out = append(out, fmt.Sprintf("%d", o))
+		} else {
+			out = append(out, fmt.Sprintf("+%d", o))
+		}
+	}
+	return out
+}

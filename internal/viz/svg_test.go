@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:  "Test profile",
+		Labels: HourLabels(),
+		Values: make([]float64, 24),
+		YLabel: "probability",
+	}
+	for i := range c.Values {
+		c.Values[i] = float64(i%7) / 10
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(svg, "<rect") < 20 {
+		t.Errorf("too few bars: %d rects", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "Test profile") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(svg, "probability") {
+		t.Error("y label missing")
+	}
+	if strings.Contains(svg, "<polyline") {
+		t.Error("unexpected overlay")
+	}
+}
+
+func TestBarChartOverlay(t *testing.T) {
+	c := &BarChart{
+		Title:   "With fit",
+		Labels:  ZoneLabels(),
+		Values:  make([]float64, 24),
+		Overlay: make([]float64, 24),
+	}
+	c.Values[12] = 0.5
+	for i := range c.Overlay {
+		c.Overlay[i] = 0.1
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("overlay curve missing")
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{Labels: []string{"a"}, Values: nil}).SVG(); err == nil {
+		t.Error("label/value mismatch accepted")
+	}
+	if _, err := (&BarChart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := (&BarChart{Labels: []string{"a"}, Values: []float64{-1}}).SVG(); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, err := (&BarChart{Labels: []string{"a"}, Values: []float64{1}, Overlay: []float64{1, 2}}).SVG(); err == nil {
+		t.Error("overlay length mismatch accepted")
+	}
+}
+
+func TestBarChartEscaping(t *testing.T) {
+	c := &BarChart{
+		Title:  `<script>"bad" & dangerous</script>`,
+		Labels: []string{"a"},
+		Values: []float64{1},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Error("XML not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	h := HourLabels()
+	if len(h) != 24 || h[0] != "0h" || h[23] != "23h" {
+		t.Errorf("HourLabels = %v", h)
+	}
+	z := ZoneLabels()
+	if len(z) != 24 || z[0] != "-11" || z[11] != "0" || z[23] != "+12" {
+		t.Errorf("ZoneLabels = %v", z)
+	}
+}
+
+func TestAllZeroValues(t *testing.T) {
+	c := &BarChart{Labels: []string{"a", "b"}, Values: []float64{0, 0}}
+	if _, err := c.SVG(); err != nil {
+		t.Fatalf("all-zero chart should render: %v", err)
+	}
+}
