@@ -1,0 +1,121 @@
+package darkcrowd
+
+// Benchmarks for the sharded placement engine: PlaceUsers over synthetic
+// crowds of 1k/10k/100k users at 1, 2, 4 and 8 workers, plus the
+// profile-building and reference-building stages. Profiles are generated
+// directly (seeded random distributions) rather than through post
+// synthesis so the benchmark measures placement, not synthesis.
+//
+// Run with:
+//
+//	go test -bench=BenchmarkPlaceUsers -benchmem
+//
+// The parallel and sequential paths produce bit-identical placements (see
+// TestPlaceUsersDeterministic); these benchmarks only measure speed.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"darkcrowd/internal/core/geoloc"
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/tz"
+)
+
+func mustRegion(b *testing.B, code string) tz.Region {
+	b.Helper()
+	r, err := tz.ByCode(code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// randomProfiles builds n seeded-random user profiles: a diurnal-ish
+// pattern (a random peak hour with mass spread around it) so placements
+// exercise the same EMD comparisons as real crowds.
+func randomProfiles(seed int64, n int) map[string]profile.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]profile.Profile, n)
+	for i := 0; i < n; i++ {
+		var p profile.Profile
+		peak := rng.Intn(profile.HoursPerDay)
+		total := 0.0
+		for h := range p {
+			d := (h - peak + profile.HoursPerDay) % profile.HoursPerDay
+			if d > profile.HoursPerDay/2 {
+				d = profile.HoursPerDay - d
+			}
+			v := rng.Float64() + float64(profile.HoursPerDay/2-d)
+			if v < 0 {
+				v = 0
+			}
+			p[h] = v
+			total += v
+		}
+		for h := range p {
+			p[h] /= total
+		}
+		out[fmt.Sprintf("user-%06d", i)] = p
+	}
+	return out
+}
+
+func BenchmarkPlaceUsers(b *testing.B) {
+	s := benchSetup(b)
+	for _, size := range []int{1_000, 10_000, 100_000} {
+		profiles := randomProfiles(int64(size), size)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("users=%d/workers=%d", size, workers), func(b *testing.B) {
+				opts := geoloc.PlaceOptions{Parallelism: workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := geoloc.PlaceUsers(profiles, s.generic.Generic, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBuildUserProfilesParallel(b *testing.B) {
+	ds, err := synth.GenerateCrowd(7, synth.CrowdConfig{
+		Name:   "bench-build",
+		Groups: []synth.Group{{Region: mustRegion(b, "de"), Users: 500, PostsPerUser: 90}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := profile.BuildOptions{Parallelism: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.BuildUserProfiles(ds, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildReferenceParallel(b *testing.B) {
+	s := benchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := profile.GenericOptions{Parallelism: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := profile.BuildGeneric(s.twitter, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -127,13 +127,13 @@ func saveTrace(ds *trace.Dataset, path string) error {
 }
 
 // reference builds the generic profile from a fresh synthetic Twitter
-// stand-in.
-func reference(seed int64, scale int) (*profile.GenericResult, error) {
+// stand-in on the given number of workers (0 = every core).
+func reference(seed int64, scale, workers int) (*profile.GenericResult, error) {
 	twitter, err := synth.TwitterDataset(seed, synth.TwitterOptions{Scale: scale})
 	if err != nil {
 		return nil, err
 	}
-	return profile.BuildGeneric(twitter, profile.GenericOptions{})
+	return profile.BuildGeneric(twitter, profile.GenericOptions{Parallelism: workers})
 }
 
 func cmdGenerate(args []string) error {
@@ -236,10 +236,11 @@ func cmdReference(args []string) error {
 	seed := fs.Int64("seed", 2018, "seed for the reference dataset")
 	scale := fs.Int("twitter-scale", 40, "reference dataset scale divisor")
 	out := fs.String("out", "reference.json", "output JSON path")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	gen, err := reference(*seed, *scale)
+	gen, err := reference(*seed, *scale, *workers)
 	if err != nil {
 		return err
 	}
@@ -268,6 +269,7 @@ func cmdGeolocate(args []string) error {
 	scale := fs.Int("twitter-scale", 40, "reference dataset scale divisor")
 	minPosts := fs.Int("min-posts", profile.DefaultMinPosts, "active-user threshold")
 	skipPolish := fs.Bool("skip-polish", false, "skip flat-profile removal")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores, 1 = sequential); output is identical for every setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -292,12 +294,12 @@ func cmdGeolocate(args []string) error {
 			ActiveUsers: ref.ActiveUsers,
 		}
 	} else {
-		gen, err = reference(*seed, *scale)
+		gen, err = reference(*seed, *scale, *workers)
 		if err != nil {
 			return err
 		}
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts})
+	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts, Parallelism: *workers})
 	if err != nil {
 		return err
 	}
@@ -311,7 +313,9 @@ func cmdGeolocate(args []string) error {
 		}
 		profiles = polished.Kept
 	}
-	geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{})
+	geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{
+		Place: geoloc.PlaceOptions{Parallelism: *workers},
+	})
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@
 package darkcrowd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ import (
 
 	"darkcrowd/internal/core/geoloc"
 	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/stats"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -92,6 +94,14 @@ type Options struct {
 	SkipPolish bool
 	// MaxComponents bounds the mixture search (default 4).
 	MaxComponents int
+	// Parallelism is the worker count for the profile-building, placement
+	// and EM stages: 0 uses every core (GOMAXPROCS), 1 forces the
+	// sequential path. The report is bit-for-bit identical for every
+	// setting — workers fill disjoint shards of index-addressed buffers
+	// and all merging happens in deterministic user order.
+	Parallelism int
+	// Context, when non-nil, cancels a long geolocation run.
+	Context context.Context
 }
 
 // Report is the outcome of geolocating a crowd.
@@ -112,7 +122,8 @@ type Report struct {
 
 // BuildReference builds the generic reference profile from a labelled
 // dataset (users mapped to region codes from the built-in catalogue; see
-// RegionCodes).
+// RegionCodes). The per-region profile builds run on one worker per core;
+// the result is deterministic regardless.
 func BuildReference(labelled *Dataset) (*Reference, error) {
 	res, err := profile.BuildGeneric(labelled, profile.GenericOptions{})
 	if err != nil {
@@ -132,7 +143,11 @@ func GeolocateCrowd(posts []Post, ref *Reference, opts Options) (*Report, error)
 		return nil, fmt.Errorf("darkcrowd: nil reference")
 	}
 	ds := &Dataset{Name: "crowd", Posts: posts}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: opts.MinPosts})
+	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{
+		MinPosts:    opts.MinPosts,
+		Parallelism: opts.Parallelism,
+		Context:     opts.Context,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("darkcrowd: build crowd profiles: %w", err)
 	}
@@ -150,6 +165,11 @@ func GeolocateCrowd(posts []Post, ref *Reference, opts Options) (*Report, error)
 	}
 	geo, err := geoloc.Geolocate(profiles, ref.Generic, geoloc.GeolocateOptions{
 		MaxComponents: opts.MaxComponents,
+		Place: geoloc.PlaceOptions{
+			Parallelism: opts.Parallelism,
+			Context:     opts.Context,
+		},
+		EM: stats.EMConfig{Parallelism: opts.Parallelism},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("darkcrowd: geolocate: %w", err)

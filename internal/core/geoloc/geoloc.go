@@ -9,11 +9,13 @@
 package geoloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/par"
 	"darkcrowd/internal/stats"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -74,12 +76,27 @@ type PlaceOptions struct {
 	// Distance selects the placement metric.
 	// Defaults to DistanceCircularEMD.
 	Distance DistanceKind
+	// Parallelism is the number of worker goroutines placing users: 0 uses
+	// every core (GOMAXPROCS), 1 forces the sequential path, any other
+	// value pins the pool size. Placement is deterministic: the output is
+	// bit-for-bit identical for every setting (see the shard/merge note on
+	// PlaceUsers).
+	Parallelism int
+	// Context, when non-nil, cancels a long placement run between users.
+	Context context.Context
 }
 
 // PlaceUsers assigns every profile to its nearest time zone, comparing the
 // user's UTC-frame profile against the 24 zone reference profiles derived
 // from the generic profile: "we geolocate that member on the timezone whose
 // activity profile is less distant" (§IV-A).
+//
+// Per-user placements are independent, so the sorted user list is split
+// into contiguous shards, one per worker. Every worker writes only its own
+// index range of a position-addressed result slice (plus a private EMD
+// scratch buffer), and the histogram/count/assignment merge runs after the
+// join, on one goroutine, in user order — which makes the result identical
+// to the sequential path regardless of worker count or scheduling.
 func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, opts PlaceOptions) (*Placement, error) {
 	if len(profiles) == 0 {
 		return nil, errors.New("geoloc: no profiles to place")
@@ -88,40 +105,67 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 		opts.Distance = DistanceCircularEMD
 	}
 	zones := profile.ZoneProfiles(generic)
+	users := profile.SortedUserIDs(profiles)
+	best := make([]int, len(users))
+	err := par.Ranges(opts.Context, opts.Parallelism, len(users), func(start, end int) error {
+		scratch := make([]float64, 2*tz.HoursPerDay)
+		for i := start; i < end; i++ {
+			if opts.Context != nil && i&0xff == 0 {
+				if err := opts.Context.Err(); err != nil {
+					return err
+				}
+			}
+			zi, err := nearestZoneIndex(profiles[users[i]], zones, opts.Distance, scratch)
+			if err != nil {
+				return fmt.Errorf("geoloc: distance for user %q: %w", users[i], err)
+			}
+			best[i] = zi
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Placement{
 		Assignments: make(map[string]tz.Offset, len(profiles)),
 		Histogram:   make([]float64, tz.HoursPerDay),
 		Counts:      make([]int, tz.HoursPerDay),
 	}
-	for _, userID := range profile.SortedUserIDs(profiles) {
-		p := profiles[userID]
-		best := -1
-		bestDist := 0.0
-		for zi, zp := range zones {
-			var d float64
-			var err error
-			switch opts.Distance {
-			case DistanceLinearEMD:
-				d, err = p.EMDLinear(zp)
-			default:
-				d, err = p.EMD(zp)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("geoloc: distance for user %q zone %d: %w", userID, zi, err)
-			}
-			if best == -1 || d < bestDist {
-				best = zi
-				bestDist = d
-			}
-		}
-		out.Assignments[userID] = profile.OffsetOf(best)
-		out.Counts[best]++
+	for i, userID := range users {
+		out.Assignments[userID] = profile.OffsetOf(best[i])
+		out.Counts[best[i]]++
 	}
 	total := float64(len(profiles))
 	for zi, c := range out.Counts {
 		out.Histogram[zi] = float64(c) / total
 	}
 	return out, nil
+}
+
+// nearestZoneIndex returns the index of the zone profile with minimal
+// distance from p, breaking ties toward the lower index. scratch is the
+// worker-owned EMD workspace (2*HoursPerDay floats).
+func nearestZoneIndex(p profile.Profile, zones []profile.Profile, dist DistanceKind, scratch []float64) (int, error) {
+	best := -1
+	bestDist := 0.0
+	for zi := range zones {
+		var d float64
+		var err error
+		switch dist {
+		case DistanceLinearEMD:
+			d, err = stats.EMDLinear(p[:], zones[zi][:])
+		default:
+			d, err = stats.EMDCircularScratch(p[:], zones[zi][:], scratch)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("zone %d: %w", zi, err)
+		}
+		if best == -1 || d < bestDist {
+			best = zi
+			bestDist = d
+		}
+	}
+	return best, nil
 }
 
 // SingleFit is the single-Gaussian placement fit used for single-country
@@ -219,6 +263,11 @@ func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opt
 	}
 	emCfg := opts.EM
 	emCfg.Period = tz.HoursPerDay
+	if emCfg.Parallelism == 0 {
+		// One knob steers the whole pipeline: a pinned placement pool size
+		// carries over to the per-k EM fits unless EM overrides it.
+		emCfg.Parallelism = opts.Place.Parallelism
+	}
 	res, err := stats.SelectMixture(placement.Samples(), opts.MaxComponents, emCfg)
 	if err != nil {
 		return nil, fmt.Errorf("geoloc: mixture selection: %w", err)

@@ -51,6 +51,10 @@ func crowdProfiles(t *testing.T, ds *trace.Dataset) map[string]profile.Profile {
 }
 
 func TestPlaceUsersSingleCountry(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("heavy synthesis in -short mode")
+	}
 	generic := testGeneric(t)
 	de, err := tz.ByCode("de")
 	if err != nil {
@@ -97,6 +101,7 @@ func TestPlaceUsersSingleCountry(t *testing.T) {
 }
 
 func TestFitSingleGermanCrowd(t *testing.T) {
+	t.Parallel()
 	generic := testGeneric(t)
 	de, err := tz.ByCode("de")
 	if err != nil {
@@ -132,6 +137,7 @@ func TestFitSingleGermanCrowd(t *testing.T) {
 }
 
 func TestGeolocateMultiCountry(t *testing.T) {
+	t.Parallel()
 	generic := testGeneric(t)
 	ds, err := synth.Fig6bDataset(2003, 60)
 	if err != nil {
@@ -165,6 +171,7 @@ func TestGeolocateMultiCountry(t *testing.T) {
 }
 
 func TestGeolocateSingleCountryOneComponent(t *testing.T) {
+	t.Parallel()
 	generic := testGeneric(t)
 	jp, err := tz.ByCode("jp")
 	if err != nil {
@@ -193,6 +200,7 @@ func TestGeolocateSingleCountryOneComponent(t *testing.T) {
 }
 
 func TestPlaceUsersErrors(t *testing.T) {
+	t.Parallel()
 	generic := testGeneric(t)
 	if _, err := PlaceUsers(nil, generic, PlaceOptions{}); err == nil {
 		t.Error("empty profiles should fail")
@@ -200,6 +208,7 @@ func TestPlaceUsersErrors(t *testing.T) {
 }
 
 func TestPlacementSamples(t *testing.T) {
+	t.Parallel()
 	p := &Placement{
 		Assignments: map[string]tz.Offset{"b": 1, "a": -6},
 		Histogram:   make([]float64, 24),
@@ -216,6 +225,7 @@ func TestPlacementSamples(t *testing.T) {
 }
 
 func TestDistanceKindString(t *testing.T) {
+	t.Parallel()
 	if DistanceCircularEMD.String() != "circular-emd" || DistanceLinearEMD.String() != "linear-emd" {
 		t.Error("distance kind strings wrong")
 	}
@@ -225,6 +235,7 @@ func TestDistanceKindString(t *testing.T) {
 }
 
 func TestMostActiveUsers(t *testing.T) {
+	t.Parallel()
 	ds := &trace.Dataset{Posts: []trace.Post{
 		{UserID: "light"}, {UserID: "heavy"}, {UserID: "heavy"},
 		{UserID: "heavy"}, {UserID: "mid"}, {UserID: "mid"},
@@ -240,6 +251,7 @@ func TestMostActiveUsers(t *testing.T) {
 }
 
 func TestComponentString(t *testing.T) {
+	t.Parallel()
 	c := Component{Weight: 0.7, Offset: 1.2, NearestOffset: 1, Sigma: 2.5}
 	s := c.String()
 	if s == "" {
@@ -248,6 +260,7 @@ func TestComponentString(t *testing.T) {
 }
 
 func TestPlacementShiftInvariant(t *testing.T) {
+	t.Parallel()
 	// End-to-end invariant: adding k hours to every post timestamp makes
 	// the crowd look like it lives k zones further west (their whole
 	// rhythm happens k hours later in UTC), so the placement peak must

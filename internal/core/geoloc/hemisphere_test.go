@@ -41,6 +41,7 @@ func classifyAll(t *testing.T, ds *trace.Dataset) map[tz.Hemisphere]int {
 }
 
 func TestHemisphereNorthernCountries(t *testing.T) {
+	t.Parallel()
 	// §V-F validation: UK, Germany, Italy users all classify as northern.
 	for i, code := range []string{"uk", "de", "it"} {
 		code := code
@@ -58,6 +59,7 @@ func TestHemisphereNorthernCountries(t *testing.T) {
 }
 
 func TestHemisphereBrazilSouthern(t *testing.T) {
+	t.Parallel()
 	// §V-F validation: all 5 Brazilian users classify as southern.
 	ds := hemisphereCrowd(t, 3100, "br", 5)
 	got := classifyAll(t, ds)
@@ -70,6 +72,7 @@ func TestHemisphereBrazilSouthern(t *testing.T) {
 }
 
 func TestHemisphereNoDSTCountry(t *testing.T) {
+	t.Parallel()
 	// Japan keeps standard time all year: no DST evidence either way.
 	ds := hemisphereCrowd(t, 3200, "jp", 5)
 	got := classifyAll(t, ds)
@@ -79,6 +82,7 @@ func TestHemisphereNoDSTCountry(t *testing.T) {
 }
 
 func TestClassifyHemisphereThinData(t *testing.T) {
+	t.Parallel()
 	ds := hemisphereCrowd(t, 3300, "de", 1)
 	byUser := ds.ByUser()
 	for _, posts := range byUser {
@@ -90,6 +94,7 @@ func TestClassifyHemisphereThinData(t *testing.T) {
 }
 
 func TestClassifyTopUsers(t *testing.T) {
+	t.Parallel()
 	ds := hemisphereCrowd(t, 3400, "br", 8)
 	verdicts, err := ClassifyTopUsers(ds, 5, HemisphereOptions{})
 	if err != nil {
@@ -116,6 +121,7 @@ func TestClassifyTopUsers(t *testing.T) {
 }
 
 func TestHemisphereVerdictDistances(t *testing.T) {
+	t.Parallel()
 	ds := hemisphereCrowd(t, 3500, "de", 1)
 	for _, posts := range ds.ByUser() {
 		v, err := ClassifyHemisphere(posts, HemisphereOptions{})

@@ -18,6 +18,10 @@ func buildTestTwitter(t *testing.T, seed int64, scale int) *trace.Dataset {
 }
 
 func TestBuildGenericBasics(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("heavy synthesis in -short mode")
+	}
 	ds := buildTestTwitter(t, 501, 60)
 	res, err := BuildGeneric(ds, GenericOptions{})
 	if err != nil {
@@ -58,6 +62,10 @@ func argmaxProfile(p Profile) int {
 }
 
 func TestCrossCountryPearson(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("heavy synthesis in -short mode")
+	}
 	// The paper: after shifting to a common time zone, any two country
 	// profiles correlate at r ~ 0.9 on average.
 	ds := buildTestTwitter(t, 502, 30)
@@ -90,6 +98,10 @@ func TestCrossCountryPearson(t *testing.T) {
 }
 
 func TestGenericMatchesShiftedRegions(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("heavy synthesis in -short mode")
+	}
 	// Fig. 2: the generic profile equals each region's local profile up to
 	// noise — Pearson close to 1 after alignment (both are local-frame).
 	ds := buildTestTwitter(t, 503, 40)
@@ -113,6 +125,7 @@ func TestGenericMatchesShiftedRegions(t *testing.T) {
 }
 
 func TestBuildGenericActiveUserCounts(t *testing.T) {
+	t.Parallel()
 	ds := buildTestTwitter(t, 504, 100)
 	res, err := BuildGeneric(ds, GenericOptions{})
 	if err != nil {
@@ -126,6 +139,7 @@ func TestBuildGenericActiveUserCounts(t *testing.T) {
 }
 
 func TestBuildGenericErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := BuildGeneric(&trace.Dataset{Name: "no-labels"}, GenericOptions{}); err == nil {
 		t.Error("dataset without ground truth should fail")
 	}
@@ -140,6 +154,10 @@ func TestBuildGenericErrors(t *testing.T) {
 }
 
 func TestPolishRemovesBots(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("heavy synthesis in -short mode")
+	}
 	de := mustRegion(t, "de")
 	ds, err := synth.GenerateCrowd(505, synth.CrowdConfig{
 		Name: "polish",
@@ -189,6 +207,10 @@ func TestPolishRemovesBots(t *testing.T) {
 }
 
 func TestPolishKeepsCleanCrowd(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("heavy synthesis in -short mode")
+	}
 	de := mustRegion(t, "de")
 	ds, err := synth.GenerateCrowd(507, synth.CrowdConfig{
 		Name:   "clean",
@@ -225,6 +247,7 @@ func mustRegion(t *testing.T, code string) tz.Region {
 }
 
 func TestShiftFractional(t *testing.T) {
+	t.Parallel()
 	var p Profile
 	p[10] = 1
 	// Integer fractional shift equals Shift.

@@ -23,11 +23,13 @@
 package profile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"darkcrowd/internal/par"
 	"darkcrowd/internal/stats"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -257,6 +259,13 @@ type BuildOptions struct {
 	MinPosts int
 	// HourOf selects the bucketing frame. Defaults to UTCHours().
 	HourOf HourOf
+	// Parallelism is the number of workers building per-user profiles:
+	// 0 uses every core (GOMAXPROCS), 1 forces the sequential path. Each
+	// user's profile depends only on that user's posts, so the output map
+	// is identical for every setting.
+	Parallelism int
+	// Context, when non-nil, cancels a long build between users.
+	Context context.Context
 }
 
 func (o BuildOptions) withDefaults() BuildOptions {
@@ -272,20 +281,43 @@ func (o BuildOptions) withDefaults() BuildOptions {
 // BuildUserProfiles builds one profile per active user of the dataset.
 // Users below the post threshold are silently dropped ("we have also
 // filtered out non active users", §IV); an error is returned only if no
-// user survives.
+// user survives. The per-user builds run on opts.Parallelism workers, each
+// writing its own slots of an index-addressed result slice.
 func BuildUserProfiles(ds *trace.Dataset, opts BuildOptions) (map[string]Profile, error) {
 	opts = opts.withDefaults()
 	byUser := ds.ByUser()
-	out := make(map[string]Profile)
+	active := make([]string, 0, len(byUser))
 	for userID, posts := range byUser {
-		if len(posts) < opts.MinPosts {
-			continue
+		if len(posts) >= opts.MinPosts {
+			active = append(active, userID)
 		}
-		p, err := FromPosts(posts, opts.HourOf)
-		if err != nil {
-			continue // no usable activity cells
+	}
+	sort.Strings(active)
+	built := make([]Profile, len(active))
+	ok := make([]bool, len(active))
+	err := par.Ranges(opts.Context, opts.Parallelism, len(active), func(start, end int) error {
+		for i := start; i < end; i++ {
+			if opts.Context != nil && i&0xff == 0 {
+				if err := opts.Context.Err(); err != nil {
+					return err
+				}
+			}
+			p, err := FromPosts(byUser[active[i]], opts.HourOf)
+			if err != nil {
+				continue // no usable activity cells
+			}
+			built[i], ok[i] = p, true
 		}
-		out[userID] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Profile, len(active))
+	for i, userID := range active {
+		if ok[i] {
+			out[userID] = built[i]
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%w (threshold %d)", ErrNoActivity, opts.MinPosts)

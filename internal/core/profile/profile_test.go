@@ -18,6 +18,7 @@ func postAt(day, hour int) trace.Post {
 }
 
 func TestFromPostsEquationOne(t *testing.T) {
+	t.Parallel()
 	// 2 days: day 0 active at hours 9 and 21; day 1 active at hour 9.
 	// Multiple posts within the same (day, hour) cell count once.
 	posts := []trace.Post{
@@ -41,12 +42,14 @@ func TestFromPostsEquationOne(t *testing.T) {
 }
 
 func TestFromPostsEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := FromPosts(nil, nil); err == nil {
 		t.Error("empty posts should fail")
 	}
 }
 
 func TestFromPostsLocalFrame(t *testing.T) {
+	t.Parallel()
 	jp, err := tz.ByCode("jp")
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +66,7 @@ func TestFromPostsLocalFrame(t *testing.T) {
 }
 
 func TestFromPostsLocalFrameDST(t *testing.T) {
+	t.Parallel()
 	de, err := tz.ByCode("de")
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +85,7 @@ func TestFromPostsLocalFrameDST(t *testing.T) {
 }
 
 func TestShiftRoundTrip(t *testing.T) {
+	t.Parallel()
 	var p Profile
 	p[21] = 1
 	shifted := p.Shift(3)
@@ -97,6 +102,7 @@ func TestShiftRoundTrip(t *testing.T) {
 }
 
 func TestShiftProperty(t *testing.T) {
+	t.Parallel()
 	prop := func(raw [24]uint8, k int8) bool {
 		var p Profile
 		var total float64
@@ -123,6 +129,7 @@ func TestShiftProperty(t *testing.T) {
 }
 
 func TestZoneProfileConvention(t *testing.T) {
+	t.Parallel()
 	// Generic local pattern peaking at local hour 21. A crowd at UTC+1
 	// (Germany) exhibits that peak at 20:00 UTC.
 	var generic Profile
@@ -143,6 +150,7 @@ func TestZoneProfileConvention(t *testing.T) {
 }
 
 func TestZoneProfilesIndexing(t *testing.T) {
+	t.Parallel()
 	var generic Profile
 	generic[12] = 1
 	zones := ZoneProfiles(generic)
@@ -165,6 +173,7 @@ func TestZoneProfilesIndexing(t *testing.T) {
 }
 
 func TestAggregateEquationTwo(t *testing.T) {
+	t.Parallel()
 	var a, b Profile
 	a[0] = 1
 	b[12] = 1
@@ -181,6 +190,7 @@ func TestAggregateEquationTwo(t *testing.T) {
 }
 
 func TestUniform(t *testing.T) {
+	t.Parallel()
 	u := Uniform()
 	if !almostEqual(u.Sum(), 1, 1e-12) {
 		t.Errorf("uniform sums to %g", u.Sum())
@@ -193,6 +203,7 @@ func TestUniform(t *testing.T) {
 }
 
 func TestBuildUserProfilesThreshold(t *testing.T) {
+	t.Parallel()
 	ds := &trace.Dataset{Name: "t"}
 	// "active" posts 35 times across distinct hours/days, "casual" posts 3 times.
 	for i := 0; i < 35; i++ {
@@ -233,6 +244,7 @@ func TestBuildUserProfilesThreshold(t *testing.T) {
 }
 
 func TestRemoveHolidays(t *testing.T) {
+	t.Parallel()
 	de, err := tz.ByCode("de")
 	if err != nil {
 		t.Fatal(err)
@@ -251,6 +263,7 @@ func TestRemoveHolidays(t *testing.T) {
 }
 
 func TestSortedUserIDs(t *testing.T) {
+	t.Parallel()
 	m := map[string]Profile{"b": {}, "a": {}, "c": {}}
 	ids := SortedUserIDs(m)
 	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
@@ -263,6 +276,7 @@ func almostEqual(a, b, eps float64) bool {
 }
 
 func TestProfileEntropy(t *testing.T) {
+	t.Parallel()
 	u := Uniform()
 	h, err := u.Entropy()
 	if err != nil {

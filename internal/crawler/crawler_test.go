@@ -44,6 +44,7 @@ func buildForum(t *testing.T, offset time.Duration, users int) (*forum.Forum, *t
 }
 
 func TestMeasureOffset(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name   string
 		offset time.Duration
@@ -71,6 +72,7 @@ func TestMeasureOffset(t *testing.T) {
 }
 
 func TestScrapeRecoversTrueTimestamps(t *testing.T) {
+	t.Parallel()
 	const offset = 4 * time.Hour
 	f, truth := buildForum(t, offset, 5)
 	srv := httptest.NewServer(f.Handler())
@@ -112,6 +114,7 @@ func TestScrapeRecoversTrueTimestamps(t *testing.T) {
 }
 
 func TestScrapeRoundTripsExactTimes(t *testing.T) {
+	t.Parallel()
 	f := forum.New(forum.Config{
 		Name:         "Exact",
 		ServerOffset: -2 * time.Hour,
@@ -150,6 +153,7 @@ func TestScrapeRoundTripsExactTimes(t *testing.T) {
 }
 
 func TestScrapeThroughHiddenService(t *testing.T) {
+	t.Parallel()
 	// End to end over the onion network: the paper's actual collection
 	// path.
 	n := onion.NewNetwork(11)
@@ -192,6 +196,7 @@ func TestScrapeThroughHiddenService(t *testing.T) {
 }
 
 func TestScrapeErrors(t *testing.T) {
+	t.Parallel()
 	// A server that serves nothing useful.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
@@ -209,6 +214,7 @@ func TestScrapeErrors(t *testing.T) {
 }
 
 func TestScrapeEscapedAuthorNames(t *testing.T) {
+	t.Parallel()
 	// Member names with HTML-special characters must survive the
 	// template-escape / crawler-unescape round trip.
 	f := forum.New(forum.Config{
@@ -247,6 +253,7 @@ func TestScrapeEscapedAuthorNames(t *testing.T) {
 }
 
 func TestMeasureOffsetNoWelcomeThread(t *testing.T) {
+	t.Parallel()
 	// A server with boards but no Welcome thread: the probe must fail
 	// cleanly.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -269,6 +276,7 @@ func TestMeasureOffsetNoWelcomeThread(t *testing.T) {
 }
 
 func TestMeasureOffsetRegisterRefused(t *testing.T) {
+	t.Parallel()
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/register" {
 			http.Error(w, "closed registrations", http.StatusForbidden)
@@ -284,6 +292,7 @@ func TestMeasureOffsetRegisterRefused(t *testing.T) {
 }
 
 func TestMeasureOffsetSecondProbeTolerates409(t *testing.T) {
+	t.Parallel()
 	f, _ := buildForum(t, time.Hour, 2)
 	srv := httptest.NewServer(f.Handler())
 	defer srv.Close()

@@ -33,6 +33,7 @@ func hiddenForum(t *testing.T) (*forum.Forum, []int) {
 }
 
 func TestScrapeRefusesHiddenTimestamps(t *testing.T) {
+	t.Parallel()
 	f, _ := hiddenForum(t)
 	srv := httptest.NewServer(f.Handler())
 	defer srv.Close()
@@ -43,6 +44,7 @@ func TestScrapeRefusesHiddenTimestamps(t *testing.T) {
 }
 
 func TestMonitorObservesNewPosts(t *testing.T) {
+	t.Parallel()
 	f, threads := hiddenForum(t)
 	srv := httptest.NewServer(f.Handler())
 	defer srv.Close()
@@ -110,6 +112,7 @@ func TestMonitorObservesNewPosts(t *testing.T) {
 }
 
 func TestMonitorIdempotentSweeps(t *testing.T) {
+	t.Parallel()
 	f, threads := hiddenForum(t)
 	srv := httptest.NewServer(f.Handler())
 	defer srv.Close()
@@ -142,6 +145,7 @@ func TestMonitorIdempotentSweeps(t *testing.T) {
 }
 
 func TestMonitorSkipsProbeAuthor(t *testing.T) {
+	t.Parallel()
 	f, threads := hiddenForum(t)
 	if _, err := f.Register(ProbeAuthor); err != nil {
 		t.Fatal(err)
@@ -167,6 +171,7 @@ func TestMonitorSkipsProbeAuthor(t *testing.T) {
 }
 
 func TestMonitorWorksWithVisibleTimestampsToo(t *testing.T) {
+	t.Parallel()
 	// Monitoring does not require hidden timestamps; it simply ignores
 	// them.
 	f, truth := buildForum(t, 2*time.Hour, 2)

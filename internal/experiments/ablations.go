@@ -24,7 +24,9 @@ func (l *Lab) placementAccuracy(dist geoloc.DistanceKind, minPosts int, polish b
 	if err != nil {
 		return 0, 0, err
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: minPosts})
+	buildOpts := l.buildOptions()
+	buildOpts.MinPosts = minPosts
+	profiles, err := profile.BuildUserProfiles(ds, buildOpts)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -35,7 +37,9 @@ func (l *Lab) placementAccuracy(dist geoloc.DistanceKind, minPosts int, polish b
 		}
 		profiles = polished.Kept
 	}
-	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{Distance: dist})
+	placeOpts := l.placeOptions()
+	placeOpts.Distance = dist
+	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, placeOpts)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -114,13 +118,13 @@ func (l *Lab) AblatePolish() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(ds, l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
 
 	score := func(profs map[string]profile.Profile) (float64, error) {
-		placement, err := geoloc.PlaceUsers(profs, gen.Generic, geoloc.PlaceOptions{})
+		placement, err := geoloc.PlaceUsers(profs, gen.Generic, l.placeOptions())
 		if err != nil {
 			return 0, err
 		}
@@ -178,11 +182,13 @@ func (l *Lab) AblateThreshold() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: 5})
+	buildOpts := l.buildOptions()
+	buildOpts.MinPosts = 5
+	profiles, err := profile.BuildUserProfiles(ds, buildOpts)
 	if err != nil {
 		return nil, err
 	}
-	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{})
+	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, l.placeOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +240,7 @@ func (l *Lab) AblateReference() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(ds, l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -340,11 +346,11 @@ func (l *Lab) AblateCrowdSize() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{})
+		profiles, err := profile.BuildUserProfiles(ds, l.buildOptions())
 		if err != nil {
 			return nil, err
 		}
-		placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{})
+		placement, err := geoloc.PlaceUsers(profiles, gen.Generic, l.placeOptions())
 		if err != nil {
 			return nil, err
 		}

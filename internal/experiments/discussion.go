@@ -65,11 +65,11 @@ func (l *Lab) DiscussionDelay() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := profile.BuildUserProfiles(scraped.Dataset, profile.BuildOptions{})
+		profiles, err := profile.BuildUserProfiles(scraped.Dataset, l.buildOptions())
 		if err != nil {
 			return nil, err
 		}
-		placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{})
+		placement, err := geoloc.PlaceUsers(profiles, gen.Generic, l.placeOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -133,11 +133,11 @@ func (l *Lab) DiscussionAdversary() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(crowd, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(crowd, l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
-	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{})
+	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, l.placeOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -264,11 +264,11 @@ func (l *Lab) DiscussionMonitor() (*Result, error) {
 
 	// Geolocate from the monitored dataset (30-post threshold as usual —
 	// heavy users clear it within the window).
-	profiles, err := profile.BuildUserProfiles(monitor.Dataset(), profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(monitor.Dataset(), l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
-	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{})
+	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, l.placeOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -189,11 +189,11 @@ func (l *Lab) mixtureExperiment(title, paper string, ds *trace.Dataset, wantOffs
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(ds, l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
-	geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{})
+	geo, err := geoloc.Geolocate(profiles, gen.Generic, l.geoOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +264,7 @@ func (l *Lab) Fig7() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(ds, l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -368,11 +368,11 @@ func (l *Lab) TableII() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := profile.BuildUserProfiles(tc.ds, profile.BuildOptions{})
+		profiles, err := profile.BuildUserProfiles(tc.ds, l.buildOptions())
 		if err != nil {
 			return nil, err
 		}
-		geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{})
+		geo, err := geoloc.Geolocate(profiles, gen.Generic, l.geoOptions())
 		if err != nil {
 			return nil, err
 		}

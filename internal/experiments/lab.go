@@ -19,6 +19,7 @@ import (
 	"darkcrowd/internal/crawler"
 	"darkcrowd/internal/forum"
 	"darkcrowd/internal/onion"
+	"darkcrowd/internal/stats"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -41,6 +42,11 @@ type Config struct {
 	// HTTP listener. Slower, but exercises the paper's full collection
 	// path.
 	UseOnion bool
+	// Parallelism is the worker count handed to the profile-building,
+	// placement and EM stages of every experiment: 0 uses every core
+	// (GOMAXPROCS), 1 forces the sequential paths. Every table and figure
+	// is bit-identical across settings.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,24 @@ func NewLab(cfg Config) *Lab {
 	}
 }
 
+// buildOptions is the lab's default profile-building configuration.
+func (l *Lab) buildOptions() profile.BuildOptions {
+	return profile.BuildOptions{Parallelism: l.cfg.Parallelism}
+}
+
+// placeOptions is the lab's default placement configuration.
+func (l *Lab) placeOptions() geoloc.PlaceOptions {
+	return geoloc.PlaceOptions{Parallelism: l.cfg.Parallelism}
+}
+
+// geoOptions is the lab's default full-pipeline configuration.
+func (l *Lab) geoOptions() geoloc.GeolocateOptions {
+	return geoloc.GeolocateOptions{
+		Place: l.placeOptions(),
+		EM:    stats.EMConfig{Parallelism: l.cfg.Parallelism},
+	}
+}
+
 // Twitter returns (building once) the synthetic Twitter dataset.
 func (l *Lab) Twitter() (*trace.Dataset, error) {
 	l.mu.Lock()
@@ -153,7 +177,7 @@ func (l *Lab) genericLocked() (*profile.GenericResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := profile.BuildGeneric(ds, profile.GenericOptions{})
+	res, err := profile.BuildGeneric(ds, profile.GenericOptions{Parallelism: l.cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build generic profile: %w", err)
 	}
@@ -183,11 +207,11 @@ func (l *Lab) placementFor(code string) (*geoloc.Placement, error) {
 	}
 	sub := ds.FilterUsers(func(u string) bool { return ds.GroundTruth[u] == code })
 	sub = profile.RemoveHolidays(sub, region)
-	profiles, err := profile.BuildUserProfiles(sub, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(sub, l.buildOptions())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profiles for %s: %w", code, err)
 	}
-	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{})
+	placement, err := geoloc.PlaceUsers(profiles, gen.Generic, l.placeOptions())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: placement for %s: %w", code, err)
 	}
@@ -246,7 +270,7 @@ func (l *Lab) runForum(name string) (*forumRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := profile.BuildUserProfiles(scrape.Dataset, profile.BuildOptions{})
+	profiles, err := profile.BuildUserProfiles(scrape.Dataset, l.buildOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +289,7 @@ func (l *Lab) runForum(name string) (*forumRun, error) {
 		return nil, err
 	}
 
-	geo, err := geoloc.Geolocate(polished.Kept, gen.Generic, geoloc.GeolocateOptions{})
+	geo, err := geoloc.Geolocate(polished.Kept, gen.Generic, l.geoOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 )
 
 func TestTimestampJitterDeterministic(t *testing.T) {
+	t.Parallel()
 	f := New(Config{
 		Name:            "jittered",
 		TimestampJitter: 3 * time.Hour,
@@ -36,6 +37,7 @@ func TestTimestampJitterDeterministic(t *testing.T) {
 }
 
 func TestTimestampJitterSpread(t *testing.T) {
+	t.Parallel()
 	f := New(Config{
 		Name:            "jittered",
 		TimestampJitter: 6 * time.Hour,
@@ -59,6 +61,7 @@ func TestTimestampJitterSpread(t *testing.T) {
 }
 
 func TestNoJitterByDefault(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	if _, err := f.Register("carol"); err != nil {
 		t.Fatal(err)
@@ -73,6 +76,7 @@ func TestNoJitterByDefault(t *testing.T) {
 }
 
 func TestHideTimestampsRendering(t *testing.T) {
+	t.Parallel()
 	f := New(Config{
 		Name:           "hidden",
 		HideTimestamps: true,
@@ -109,6 +113,7 @@ func TestHideTimestampsRendering(t *testing.T) {
 }
 
 func TestHideTimestampsReplyEcho(t *testing.T) {
+	t.Parallel()
 	f := New(Config{
 		Name:           "hidden",
 		HideTimestamps: true,

@@ -29,6 +29,7 @@ func newTestForum() *Forum {
 }
 
 func TestNewForumHasWelcomeThread(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	th, err := f.Thread(f.WelcomeThreadID())
 	if err != nil {
@@ -44,6 +45,7 @@ func TestNewForumHasWelcomeThread(t *testing.T) {
 }
 
 func TestRegister(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	m, err := f.Register("alice")
 	if err != nil {
@@ -71,6 +73,7 @@ func TestRegister(t *testing.T) {
 }
 
 func TestPosting(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	if _, err := f.Register("bob"); err != nil {
 		t.Fatal(err)
@@ -98,6 +101,7 @@ func TestPosting(t *testing.T) {
 }
 
 func TestPostOrderingAndPagination(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	if _, err := f.Register("carol"); err != nil {
 		t.Fatal(err)
@@ -141,6 +145,7 @@ func TestPostOrderingAndPagination(t *testing.T) {
 }
 
 func TestDisplayTimeOffset(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	shown := f.DisplayTime(testInstant)
 	want := testInstant.Add(3 * time.Hour)
@@ -160,6 +165,7 @@ func TestDisplayTimeOffset(t *testing.T) {
 }
 
 func TestImportCrowd(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	region, err := tz.ByCode("it")
 	if err != nil {
@@ -189,6 +195,7 @@ func TestImportCrowd(t *testing.T) {
 }
 
 func TestHTTPIndexBoardThread(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	if _, err := f.Register("dave"); err != nil {
 		t.Fatal(err)
@@ -249,6 +256,7 @@ func TestHTTPIndexBoardThread(t *testing.T) {
 }
 
 func TestHTTPRegisterAndReply(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	srv := httptest.NewServer(f.Handler())
 	defer srv.Close()
@@ -313,6 +321,7 @@ func TestHTTPRegisterAndReply(t *testing.T) {
 }
 
 func TestThreadPaginationLinks(t *testing.T) {
+	t.Parallel()
 	f := newTestForum()
 	if _, err := f.Register("frank"); err != nil {
 		t.Fatal(err)

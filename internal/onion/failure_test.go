@@ -9,6 +9,7 @@ import (
 )
 
 func TestBridgeClientReachesHiddenService(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 6)
 	if _, err := n.AddBridge("secret-bridge"); err != nil {
 		t.Fatal(err)
@@ -64,6 +65,7 @@ func TestBridgeClientReachesHiddenService(t *testing.T) {
 }
 
 func TestBridgeIsFirstHop(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 5)
 	if _, err := n.AddBridge("bridge-1"); err != nil {
 		t.Fatal(err)
@@ -89,6 +91,7 @@ func TestBridgeIsFirstHop(t *testing.T) {
 }
 
 func TestStopRelayBreaksCircuit(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 6)
 	n.SetControlTimeout(300 * time.Millisecond)
 	if err := n.RegisterExternal("echo.example", func(conn net.Conn) {
@@ -141,6 +144,7 @@ func TestStopRelayBreaksCircuit(t *testing.T) {
 }
 
 func TestClientRecoversFromGuardFailure(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 7)
 	n.SetControlTimeout(300 * time.Millisecond)
 	if err := n.RegisterExternal("echo.example", func(conn net.Conn) {
@@ -182,6 +186,7 @@ func TestClientRecoversFromGuardFailure(t *testing.T) {
 }
 
 func TestStopRelayErrors(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 3)
 	if err := n.StopRelay("does-not-exist"); err == nil {
 		t.Error("stopping a missing relay should fail")
@@ -198,6 +203,7 @@ func TestStopRelayErrors(t *testing.T) {
 }
 
 func TestServiceSurvivesNonCriticalRelayLoss(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 10)
 	n.SetControlTimeout(2 * time.Second)
 	svc, err := HostService(n, "resilient", 2)
@@ -266,6 +272,7 @@ func TestServiceSurvivesNonCriticalRelayLoss(t *testing.T) {
 }
 
 func TestGuardPersistence(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 8)
 	if err := n.RegisterExternal("a.example", func(conn net.Conn) {
 		defer conn.Close()

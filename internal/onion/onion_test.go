@@ -24,6 +24,7 @@ func newTestNetwork(t *testing.T, relays int) *Network {
 }
 
 func TestSealOpenLayer(t *testing.T) {
+	t.Parallel()
 	var enc, mac [32]byte
 	copy(enc[:], bytes.Repeat([]byte{1}, 32))
 	copy(mac[:], bytes.Repeat([]byte{2}, 32))
@@ -56,6 +57,7 @@ func TestSealOpenLayer(t *testing.T) {
 }
 
 func TestDeriveHopKeysAgreement(t *testing.T) {
+	t.Parallel()
 	a, err := newKeyPair()
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +86,7 @@ func TestDeriveHopKeysAgreement(t *testing.T) {
 }
 
 func TestRelayMsgCodec(t *testing.T) {
+	t.Parallel()
 	msgs := []relayMsg{
 		{Cmd: relayData, Stream: 7, Body: []byte("payload")},
 		{Cmd: relayExtended, Stream: 0, Body: nil},
@@ -107,6 +110,7 @@ func TestRelayMsgCodec(t *testing.T) {
 }
 
 func TestExtendAndIntroduceCodecs(t *testing.T) {
+	t.Parallel()
 	e := extendPayload{Target: "relay-5", ClientPub: bytes.Repeat([]byte{9}, 32)}
 	got, err := decodeExtend(encodeExtend(e))
 	if err != nil {
@@ -133,6 +137,7 @@ func TestExtendAndIntroduceCodecs(t *testing.T) {
 }
 
 func TestOnionAddress(t *testing.T) {
+	t.Parallel()
 	pub, _, err := ed25519.GenerateKey(rand.Reader)
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +160,7 @@ func TestOnionAddress(t *testing.T) {
 }
 
 func TestDescriptorSignVerify(t *testing.T) {
+	t.Parallel()
 	pub, priv, err := ed25519.GenerateKey(rand.Reader)
 	if err != nil {
 		t.Fatal(err)
@@ -185,6 +191,7 @@ func TestDescriptorSignVerify(t *testing.T) {
 }
 
 func TestDirectoryRoster(t *testing.T) {
+	t.Parallel()
 	d := NewDirectory()
 	d.AddRelay("b")
 	d.AddRelay("a")
@@ -222,6 +229,7 @@ func TestDirectoryRoster(t *testing.T) {
 }
 
 func TestPickRelays(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 10)
 	picked, err := n.PickRelays(3)
 	if err != nil {
@@ -253,6 +261,7 @@ func TestPickRelays(t *testing.T) {
 }
 
 func TestExternalDialThroughExitCircuit(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 6)
 	// A simple echo destination on the "standard web".
 	err := n.RegisterExternal("echo.example", func(conn net.Conn) {
@@ -300,6 +309,7 @@ func TestExternalDialThroughExitCircuit(t *testing.T) {
 }
 
 func TestDialUnknownExternal(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 6)
 	client, err := NewClient(n, "bob")
 	if err != nil {
@@ -312,6 +322,7 @@ func TestDialUnknownExternal(t *testing.T) {
 }
 
 func TestHiddenServiceEndToEnd(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 8)
 	svc, err := HostService(n, "hidden-wiki", 2)
 	if err != nil {
@@ -367,6 +378,7 @@ func TestHiddenServiceEndToEnd(t *testing.T) {
 }
 
 func TestHiddenServiceHTTP(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 8)
 	svc, err := HostService(n, "http-service", 2)
 	if err != nil {
@@ -405,6 +417,7 @@ func TestHiddenServiceHTTP(t *testing.T) {
 }
 
 func TestHiddenServiceMultipleStreams(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 8)
 	svc, err := HostService(n, "multi", 2)
 	if err != nil {
@@ -468,6 +481,7 @@ func TestHiddenServiceMultipleStreams(t *testing.T) {
 }
 
 func TestFetchDescriptor(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 8)
 	svc, err := HostService(n, "lookup", 2)
 	if err != nil {
@@ -497,6 +511,7 @@ func TestFetchDescriptor(t *testing.T) {
 }
 
 func TestLargeTransfer(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 8)
 	svc, err := HostService(n, "bulk", 2)
 	if err != nil {
@@ -540,6 +555,7 @@ func TestLargeTransfer(t *testing.T) {
 }
 
 func TestNetworkCloseIdempotent(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork(1)
 	if _, err := n.AddRelays(3); err != nil {
 		t.Fatal(err)
@@ -552,6 +568,7 @@ func TestNetworkCloseIdempotent(t *testing.T) {
 }
 
 func TestCellCommandStrings(t *testing.T) {
+	t.Parallel()
 	if CmdCreate.String() != "CREATE" || CmdRelay.String() != "RELAY" {
 		t.Error("cell command strings wrong")
 	}
@@ -567,6 +584,7 @@ func TestCellCommandStrings(t *testing.T) {
 }
 
 func TestDuplicateNodeID(t *testing.T) {
+	t.Parallel()
 	n := newTestNetwork(t, 3)
 	if _, err := NewClient(n, "dup"); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,88 @@
+// Package par provides the deterministic fork-join primitive used by the
+// hot loops of the pipeline (EMD placement, profile building, EM model
+// selection): split n independent items into contiguous shards, process
+// every shard on its own worker goroutine, and let the caller merge the
+// per-shard results in shard order.
+//
+// The contract that makes parallelism safe here is *determinism by
+// construction*: workers only write to disjoint, index-addressed slots
+// (never to shared accumulators), and all order-sensitive reduction happens
+// after Ranges returns, on a single goroutine, in shard order. Under that
+// discipline the output of a parallel run is bit-for-bit identical to the
+// sequential run regardless of worker count or goroutine scheduling.
+package par
+
+import (
+	"context"
+	"runtime"
+)
+
+// Workers resolves a Parallelism setting against an item count:
+//
+//   - parallelism <= 0 selects GOMAXPROCS (use every core);
+//   - otherwise the requested value is used;
+//   - the result is clamped to [1, items] so no worker starts idle.
+func Workers(parallelism, items int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Ranges splits [0, n) into `workers` contiguous shards and calls
+// fn(start, end) for each shard on its own goroutine, waiting for all of
+// them. Shard boundaries depend only on (workers, n), never on scheduling.
+//
+// The returned error is deterministic too: the error of the lowest-indexed
+// failing shard wins, whichever worker happened to fail first in wall-clock
+// time. If ctx is cancelled (and no shard reports its own error), the
+// context's error is returned; workers observe cancellation between items
+// via the fn contract below. A nil ctx means no cancellation.
+//
+// With workers <= 1 (or n <= 1) fn runs inline on the calling goroutine —
+// the sequential path and the parallel path execute the exact same code.
+func Ranges(ctx context.Context, workers, n int, fn func(start, end int) error) error {
+	if n <= 0 {
+		return ctxErr(ctx)
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		return fn(0, n)
+	}
+	errs := make([]error, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		start, end := w*n/workers, (w+1)*n/workers
+		go func(w, start, end int) {
+			errs[w] = fn(start, end)
+			done <- w
+		}(w, start, end)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctxErr(ctx)
+}
+
+// ctxErr returns the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

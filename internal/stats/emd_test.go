@@ -7,6 +7,7 @@ import (
 )
 
 func TestEMDLinear(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		p, q []float64
@@ -32,6 +33,7 @@ func TestEMDLinear(t *testing.T) {
 }
 
 func TestEMDCircular(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		p, q []float64
@@ -57,6 +59,7 @@ func TestEMDCircular(t *testing.T) {
 }
 
 func TestEMDCircularNeverExceedsLinear(t *testing.T) {
+	t.Parallel()
 	prop := func(rawP, rawQ [12]uint8) bool {
 		p := make([]float64, 12)
 		q := make([]float64, 12)
@@ -91,6 +94,7 @@ func TestEMDCircularNeverExceedsLinear(t *testing.T) {
 }
 
 func TestEMDMetricProperties(t *testing.T) {
+	t.Parallel()
 	mk := func(raw [8]uint8) ([]float64, bool) {
 		xs := make([]float64, 8)
 		var s float64
@@ -189,6 +193,7 @@ func TestEMDMetricProperties(t *testing.T) {
 }
 
 func TestEMDErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := EMDLinear([]float64{1}, []float64{0.5, 0.5}); err == nil {
 		t.Error("length mismatch should fail")
 	}
@@ -204,6 +209,7 @@ func TestEMDErrors(t *testing.T) {
 }
 
 func TestEMDShiftCost(t *testing.T) {
+	t.Parallel()
 	// Shifting a concentrated distribution by k bins on a 24-bin circle
 	// should cost about min(k, 24-k) per unit mass.
 	base := make([]float64, 24)
@@ -225,6 +231,7 @@ func TestEMDShiftCost(t *testing.T) {
 }
 
 func TestMedian(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		in   []float64
 		want float64
@@ -249,6 +256,7 @@ func TestMedian(t *testing.T) {
 }
 
 func TestEMDUniformVsPeaked(t *testing.T) {
+	t.Parallel()
 	// A peaked profile should be far from uniform; this is the flat-profile
 	// polishing criterion's discriminative signal (§IV-C).
 	uniform := make([]float64, 24)

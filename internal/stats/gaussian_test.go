@@ -7,6 +7,7 @@ import (
 )
 
 func TestGaussianPDF(t *testing.T) {
+	t.Parallel()
 	g := Gaussian{Weight: 1, Mean: 0, Sigma: 1}
 	if got := g.PDF(0); !almostEqual(got, 1/math.Sqrt(2*math.Pi), 1e-12) {
 		t.Errorf("standard normal at 0 = %g", got)
@@ -24,6 +25,7 @@ func TestGaussianPDF(t *testing.T) {
 }
 
 func TestWrappedPDFSymmetry(t *testing.T) {
+	t.Parallel()
 	g := Gaussian{Weight: 1, Mean: 23, Sigma: 2}
 	// Points equidistant on the circle must have equal density: 23±1 are
 	// 0 and 22.
@@ -40,6 +42,7 @@ func TestWrappedPDFSymmetry(t *testing.T) {
 }
 
 func TestMixtureCurveMassProperty(t *testing.T) {
+	t.Parallel()
 	// A unit-weight mixture sampled on unit-width bins of the full circle
 	// should carry total mass close to 1.
 	prop := func(rawMean uint8, rawSigma uint8) bool {
@@ -54,6 +57,7 @@ func TestMixtureCurveMassProperty(t *testing.T) {
 }
 
 func TestMixtureDominant(t *testing.T) {
+	t.Parallel()
 	m := Mixture{
 		{Weight: 0.3, Mean: 1, Sigma: 2},
 		{Weight: 0.7, Mean: 18, Sigma: 2},
@@ -74,6 +78,7 @@ func TestMixtureDominant(t *testing.T) {
 }
 
 func TestFitGaussianCircularRecovers(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name        string
 		mean, sigma float64
@@ -106,6 +111,7 @@ func TestFitGaussianCircularRecovers(t *testing.T) {
 }
 
 func TestFitGaussianCircularNoisy(t *testing.T) {
+	t.Parallel()
 	truth := Mixture{{Weight: 1, Mean: 9, Sigma: 2.5}}
 	ys := truth.Curve(24)
 	// Deterministic "noise".
@@ -125,12 +131,14 @@ func TestFitGaussianCircularNoisy(t *testing.T) {
 }
 
 func TestFitGaussianCircularErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := FitGaussianCircular([]float64{1, 2}); err == nil {
 		t.Error("too few bins should fail")
 	}
 }
 
 func TestCircularDiff(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		a, b, period, want float64
 	}{
@@ -148,6 +156,7 @@ func TestCircularDiff(t *testing.T) {
 }
 
 func TestCircularDiffProperty(t *testing.T) {
+	t.Parallel()
 	bounded := func(a, b uint16) bool {
 		d := CircularDiff(float64(a%240)/10, float64(b%240)/10, 24)
 		return d > -12-1e-9 && d <= 12+1e-9

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"darkcrowd/internal/par"
 )
 
 // Expectation-Maximization for one-dimensional Gaussian mixtures on a
@@ -42,6 +44,12 @@ type EMConfig struct {
 	// so sub-1.6-zone splits are artefacts, not separate regions.
 	// Defaults to 1.6.
 	MergeRadius float64
+	// Parallelism is the number of workers SelectMixture uses to run the
+	// per-k EM fits concurrently: 0 uses every core (GOMAXPROCS), 1 forces
+	// the sequential path. Each fit is deterministic and the BIC winner is
+	// chosen by scanning k in order, so the selected model is identical
+	// for every setting.
+	Parallelism int
 }
 
 func (c EMConfig) withDefaults() EMConfig {
@@ -167,25 +175,42 @@ func FitMixtureEM(samples []float64, k int, cfg EMConfig) (EMResult, error) {
 // merging components closer than one zone. This reproduces the paper's
 // uncovering of "the different number of regions per crowd given by the
 // number of different Gaussian curves" (§IV-B).
+//
+// The per-k EM runs are independent, so they execute on cfg.Parallelism
+// workers; every run is deterministic and the winner is picked by scanning
+// the results in k order (ties go to the smaller model), so the outcome
+// matches the sequential loop exactly.
 func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) {
 	cfg = cfg.withDefaults()
 	if maxK <= 0 {
 		return EMResult{}, fmt.Errorf("stats: maxK must be positive, got %d", maxK)
 	}
-	var best EMResult
-	found := false
-	for k := 1; k <= maxK && k <= len(samples); k++ {
-		res, err := FitMixtureEM(samples, k, cfg)
-		if err != nil {
-			return EMResult{}, fmt.Errorf("stats: EM with k=%d: %w", k, err)
-		}
-		if !found || res.BIC < best.BIC {
-			best = res
-			found = true
-		}
+	kMax := maxK
+	if kMax > len(samples) {
+		kMax = len(samples)
 	}
-	if !found {
+	if kMax < 1 {
 		return EMResult{}, ErrEmptyInput
+	}
+	results := make([]EMResult, kMax)
+	err := par.Ranges(nil, cfg.Parallelism, kMax, func(start, end int) error {
+		for i := start; i < end; i++ {
+			res, err := FitMixtureEM(samples, i+1, cfg)
+			if err != nil {
+				return fmt.Errorf("stats: EM with k=%d: %w", i+1, err)
+			}
+			results[i] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return EMResult{}, err
+	}
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.BIC < best.BIC {
+			best = res
+		}
 	}
 	best.Mixture = tidyMixture(best.Mixture, cfg)
 	return best, nil

@@ -31,6 +31,7 @@ func sampleMixture(rng *rand.Rand, m Mixture, n int) []float64 {
 }
 
 func TestFitMixtureEMSingleComponent(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	truth := Mixture{{Weight: 1, Mean: 13, Sigma: 2.5}}
 	samples := sampleMixture(rng, truth, 2000)
@@ -51,6 +52,7 @@ func TestFitMixtureEMSingleComponent(t *testing.T) {
 }
 
 func TestFitMixtureEMAcrossSeam(t *testing.T) {
+	t.Parallel()
 	// A component centred at UTC-1 (bin 23 on a 0..23 axis) must be
 	// recovered despite the circular seam.
 	rng := rand.New(rand.NewSource(2))
@@ -67,6 +69,7 @@ func TestFitMixtureEMAcrossSeam(t *testing.T) {
 }
 
 func TestSelectMixtureFindsTwoComponents(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	truth := Mixture{
 		{Weight: 0.7, Mean: 7, Sigma: 2},
@@ -96,6 +99,7 @@ func TestSelectMixtureFindsTwoComponents(t *testing.T) {
 }
 
 func TestSelectMixtureFindsThreeComponents(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	truth := Mixture{
 		{Weight: 0.45, Mean: 4, Sigma: 1.8},
@@ -126,6 +130,7 @@ func TestSelectMixtureFindsThreeComponents(t *testing.T) {
 }
 
 func TestSelectMixtureSingleRegionPrefersOne(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	truth := Mixture{{Weight: 1, Mean: 10, Sigma: 2.5}}
 	samples := sampleMixture(rng, truth, 1500)
@@ -140,6 +145,7 @@ func TestSelectMixtureSingleRegionPrefersOne(t *testing.T) {
 }
 
 func TestFitMixtureEMErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := FitMixtureEM([]float64{1, 2, 3}, 0, EMConfig{Period: 24}); err == nil {
 		t.Error("k=0 should fail")
 	}
@@ -158,6 +164,7 @@ func TestFitMixtureEMErrors(t *testing.T) {
 }
 
 func TestEMWeightsSumToOne(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(6))
 	truth := Mixture{
 		{Weight: 0.5, Mean: 3, Sigma: 2},
@@ -179,6 +186,7 @@ func TestEMWeightsSumToOne(t *testing.T) {
 }
 
 func TestEMLikelihoodImprovesWithBetterModel(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	truth := Mixture{
 		{Weight: 0.5, Mean: 2, Sigma: 1.5},
@@ -203,6 +211,7 @@ func TestEMLikelihoodImprovesWithBetterModel(t *testing.T) {
 }
 
 func TestTidyMixtureMergesClose(t *testing.T) {
+	t.Parallel()
 	cfg := EMConfig{Period: 24}.withDefaults()
 	m := Mixture{
 		{Weight: 0.5, Mean: 10, Sigma: 2},
@@ -222,6 +231,7 @@ func TestTidyMixtureMergesClose(t *testing.T) {
 }
 
 func TestTidyMixturePrunesLight(t *testing.T) {
+	t.Parallel()
 	cfg := EMConfig{Period: 24}.withDefaults()
 	m := Mixture{
 		{Weight: 0.97, Mean: 5, Sigma: 2},

@@ -11,6 +11,7 @@ func almostEqual(a, b, eps float64) bool {
 }
 
 func TestSumAndMean(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name     string
 		in       []float64
@@ -42,6 +43,7 @@ func TestSumAndMean(t *testing.T) {
 }
 
 func TestStdDev(t *testing.T) {
+	t.Parallel()
 	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +64,7 @@ func TestStdDev(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
+	t.Parallel()
 	got, err := Normalize([]float64{1, 1, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +87,7 @@ func TestNormalize(t *testing.T) {
 }
 
 func TestNormalizeProperty(t *testing.T) {
+	t.Parallel()
 	sumsToOne := func(raw []uint8) bool {
 		if len(raw) == 0 {
 			return true
@@ -109,6 +113,7 @@ func TestNormalizeProperty(t *testing.T) {
 }
 
 func TestArgMax(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		in   []float64
 		want int
@@ -127,6 +132,7 @@ func TestArgMax(t *testing.T) {
 }
 
 func TestRotate(t *testing.T) {
+	t.Parallel()
 	in := []float64{0, 1, 2, 3}
 	tests := []struct {
 		k    int
@@ -154,6 +160,7 @@ func TestRotate(t *testing.T) {
 }
 
 func TestRotateInverseProperty(t *testing.T) {
+	t.Parallel()
 	inverse := func(raw []uint8, k int8) bool {
 		xs := make([]float64, len(raw))
 		for i, r := range raw {
@@ -173,6 +180,7 @@ func TestRotateInverseProperty(t *testing.T) {
 }
 
 func TestPearson(t *testing.T) {
+	t.Parallel()
 	t.Run("perfect correlation", func(t *testing.T) {
 		r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
 		if err != nil {
@@ -214,6 +222,7 @@ func TestPearson(t *testing.T) {
 }
 
 func TestPearsonShiftInvarianceProperty(t *testing.T) {
+	t.Parallel()
 	// r(x, y) == r(ax+b, y) for a > 0: the core reason profile comparison
 	// by correlation is insensitive to activity volume.
 	prop := func(raw []uint8) bool {
@@ -243,6 +252,7 @@ func TestPearsonShiftInvarianceProperty(t *testing.T) {
 }
 
 func TestPointwiseDistanceStats(t *testing.T) {
+	t.Parallel()
 	avg, std, err := PointwiseDistanceStats([]float64{1, 2, 3}, []float64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
@@ -266,6 +276,7 @@ func TestPointwiseDistanceStats(t *testing.T) {
 }
 
 func TestEntropy(t *testing.T) {
+	t.Parallel()
 	uniform := make([]float64, 24)
 	for i := range uniform {
 		uniform[i] = 1.0 / 24
@@ -298,6 +309,7 @@ func TestEntropy(t *testing.T) {
 }
 
 func TestKLDivergence(t *testing.T) {
+	t.Parallel()
 	p := []float64{0.5, 0.5}
 	q := []float64{0.5, 0.5}
 	d, err := KLDivergence(p, q)

@@ -11,6 +11,7 @@ import (
 )
 
 func TestDefaultRhythmShape(t *testing.T) {
+	t.Parallel()
 	r := DefaultRhythm()
 	// Night trough between 1h and 7h (§IV): every night hour below every
 	// daytime hour.
@@ -48,6 +49,7 @@ func minIndex(r Rhythm) int {
 }
 
 func TestRhythmShifted(t *testing.T) {
+	t.Parallel()
 	r := DefaultRhythm()
 	s := r.Shifted(3)
 	// Peak moves from 21 to 0.
@@ -87,6 +89,7 @@ func maxIndex(r Rhythm) int {
 }
 
 func TestFlatRhythm(t *testing.T) {
+	t.Parallel()
 	f := FlatRhythm()
 	for h := 1; h < 24; h++ {
 		if f[h] != f[0] {
@@ -99,6 +102,7 @@ func TestFlatRhythm(t *testing.T) {
 }
 
 func TestGenerateCrowdDeterminism(t *testing.T) {
+	t.Parallel()
 	cfg := CrowdConfig{
 		Name:   "det",
 		Groups: []Group{{Region: mustRegion("de"), Users: 5, PostsPerUser: 50}},
@@ -138,6 +142,7 @@ func TestGenerateCrowdDeterminism(t *testing.T) {
 }
 
 func TestGenerateCrowdVolume(t *testing.T) {
+	t.Parallel()
 	ds, err := GenerateCrowd(1, CrowdConfig{
 		Name:   "vol",
 		Groups: []Group{{Region: mustRegion("jp"), Users: 40, PostsPerUser: 80}},
@@ -160,6 +165,7 @@ func TestGenerateCrowdVolume(t *testing.T) {
 }
 
 func TestGenerateCrowdErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := GenerateCrowd(1, CrowdConfig{}); err == nil {
 		t.Error("no groups should fail")
 	}
@@ -178,6 +184,7 @@ func TestGenerateCrowdErrors(t *testing.T) {
 }
 
 func TestGeneratedProfileMatchesRegion(t *testing.T) {
+	t.Parallel()
 	// A German crowd's UTC-frame population profile should peak in the
 	// evening German local hours (19-22 local => 17-21 UTC depending on
 	// DST) and trough during the German night.
@@ -221,6 +228,7 @@ func argmaxProfile(p profile.Profile) int {
 }
 
 func TestBotProfileIsFlat(t *testing.T) {
+	t.Parallel()
 	ds, err := GenerateCrowd(11, CrowdConfig{
 		Name:   "bots",
 		Groups: []Group{{Region: mustRegion("de"), Users: 10, PostsPerUser: 200, Kind: KindBot}},
@@ -245,6 +253,7 @@ func TestBotProfileIsFlat(t *testing.T) {
 }
 
 func TestShiftWorkerDisplaced(t *testing.T) {
+	t.Parallel()
 	regular, err := GenerateCrowd(12, CrowdConfig{
 		Name:   "reg",
 		Groups: []Group{{Region: mustRegion("jp"), Users: 30, PostsPerUser: 150}},
@@ -293,6 +302,7 @@ func mustPopulation(t *testing.T, ds *trace.Dataset) profile.Profile {
 }
 
 func TestTwitterDatasetScaled(t *testing.T) {
+	t.Parallel()
 	ds, err := TwitterDataset(1, TwitterOptions{Scale: 100})
 	if err != nil {
 		t.Fatal(err)
@@ -314,6 +324,7 @@ func TestTwitterDatasetScaled(t *testing.T) {
 }
 
 func TestTableIUserCount(t *testing.T) {
+	t.Parallel()
 	n, err := TableIUserCount("de")
 	if err != nil {
 		t.Fatal(err)
@@ -338,6 +349,7 @@ func TestTableIUserCount(t *testing.T) {
 }
 
 func TestForumSpecs(t *testing.T) {
+	t.Parallel()
 	specs := ForumSpecs()
 	if len(specs) != 5 {
 		t.Fatalf("%d forum specs, want 5", len(specs))
@@ -375,6 +387,7 @@ func TestForumSpecs(t *testing.T) {
 }
 
 func TestForumCrowdCensus(t *testing.T) {
+	t.Parallel()
 	spec, err := ForumSpecByName("Italian DarkNet Community")
 	if err != nil {
 		t.Fatal(err)
@@ -397,6 +410,7 @@ func TestForumCrowdCensus(t *testing.T) {
 }
 
 func TestRezonedRegion(t *testing.T) {
+	t.Parallel()
 	my := mustRegion("my")
 	r := RezonedRegion(my, -7)
 	if r.StandardOffset != -7 {
@@ -415,6 +429,7 @@ func TestRezonedRegion(t *testing.T) {
 }
 
 func TestFig6Datasets(t *testing.T) {
+	t.Parallel()
 	a, err := Fig6aDataset(5, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -442,6 +457,7 @@ func TestFig6Datasets(t *testing.T) {
 }
 
 func TestUserKindString(t *testing.T) {
+	t.Parallel()
 	if KindRegular.String() != "regular" || KindBot.String() != "bot" || KindShiftWorker.String() != "shift-worker" {
 		t.Error("kind strings wrong")
 	}
@@ -451,6 +467,7 @@ func TestUserKindString(t *testing.T) {
 }
 
 func TestDeliberateShift(t *testing.T) {
+	t.Parallel()
 	// A coordinated crowd posting 6 hours later must show a population
 	// profile displaced ~6h from an honest crowd of the same region.
 	honest, err := GenerateCrowd(21, CrowdConfig{
@@ -478,6 +495,7 @@ func TestDeliberateShift(t *testing.T) {
 }
 
 func TestWeekendEffect(t *testing.T) {
+	t.Parallel()
 	// With WeekendEffect, weekend activity per day should exceed weekday
 	// activity per day, and the weekend pattern should run later.
 	ds, err := GenerateCrowd(31, CrowdConfig{

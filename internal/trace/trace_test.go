@@ -26,6 +26,7 @@ func sample() *Dataset {
 }
 
 func TestUsersAndCounts(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	users := d.Users()
 	want := []string{"alice", "bob", "carol"}
@@ -47,6 +48,7 @@ func TestUsersAndCounts(t *testing.T) {
 }
 
 func TestByUser(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	byUser := d.ByUser()
 	if len(byUser["alice"]) != 3 {
@@ -58,6 +60,7 @@ func TestByUser(t *testing.T) {
 }
 
 func TestTimeRange(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	first, last, ok := d.TimeRange()
 	if !ok {
@@ -73,6 +76,7 @@ func TestTimeRange(t *testing.T) {
 }
 
 func TestFilterMinPosts(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	filtered := d.FilterMinPosts(2)
 	if got := filtered.Users(); len(got) != 1 || got[0] != "alice" {
@@ -88,6 +92,7 @@ func TestFilterMinPosts(t *testing.T) {
 }
 
 func TestWindow(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	w := d.Window(at(10), at(13))
 	if w.NumPosts() != 3 {
@@ -101,6 +106,7 @@ func TestWindow(t *testing.T) {
 }
 
 func TestMerge(t *testing.T) {
+	t.Parallel()
 	a := &Dataset{Name: "a", Posts: []Post{{UserID: "u1", Time: at(1)}},
 		GroundTruth: map[string]string{"u1": "de"}}
 	b := &Dataset{Name: "b", Posts: []Post{{UserID: "u2", Time: at(2)}},
@@ -120,6 +126,7 @@ func TestMerge(t *testing.T) {
 }
 
 func TestSortByTime(t *testing.T) {
+	t.Parallel()
 	d := &Dataset{Posts: []Post{
 		{UserID: "b", Time: at(12)},
 		{UserID: "a", Time: at(9)},
@@ -135,6 +142,7 @@ func TestSortByTime(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	var buf bytes.Buffer
 	if err := d.WriteJSON(&buf); err != nil {
@@ -156,6 +164,7 @@ func TestJSONRoundTrip(t *testing.T) {
 }
 
 func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	var buf bytes.Buffer
 	if err := d.WriteCSV(&buf); err != nil {
@@ -176,6 +185,7 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
 		t.Error("empty CSV should fail")
 	}
@@ -188,6 +198,7 @@ func TestReadCSVErrors(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	c := d.Clone()
 	c.Posts[0].UserID = "mallory"
@@ -198,6 +209,7 @@ func TestClone(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
+	t.Parallel()
 	d := sample()
 	s := d.Summarize()
 	if s.Users != 3 || s.Posts != 5 {
@@ -216,6 +228,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSubsample(t *testing.T) {
+	t.Parallel()
 	d := &Dataset{Name: "big", GroundTruth: map[string]string{"u": "de"}}
 	for i := 0; i < 1000; i++ {
 		d.Posts = append(d.Posts, Post{UserID: "u", Time: at(i % 24)})

@@ -7,6 +7,7 @@ import (
 )
 
 func TestOffsetNormalize(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		in   Offset
@@ -34,6 +35,7 @@ func TestOffsetNormalize(t *testing.T) {
 }
 
 func TestOffsetNormalizeProperties(t *testing.T) {
+	t.Parallel()
 	inRange := func(o int16) bool {
 		n := Offset(o).Normalize()
 		return n >= MinOffset && n <= MaxOffset
@@ -52,6 +54,7 @@ func TestOffsetNormalizeProperties(t *testing.T) {
 }
 
 func TestOffsetString(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		in   Offset
 		want string
@@ -71,6 +74,7 @@ func TestOffsetString(t *testing.T) {
 }
 
 func TestCircularDistance(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		a, b Offset
 		want int
@@ -95,6 +99,7 @@ func TestCircularDistance(t *testing.T) {
 }
 
 func TestCircularDistanceProperties(t *testing.T) {
+	t.Parallel()
 	bounded := func(a, b int16) bool {
 		d := Offset(a).CircularDistance(Offset(b))
 		return d >= 0 && d <= 12
@@ -111,6 +116,7 @@ func TestCircularDistanceProperties(t *testing.T) {
 }
 
 func TestAllOffsets(t *testing.T) {
+	t.Parallel()
 	all := AllOffsets()
 	if len(all) != HoursPerDay {
 		t.Fatalf("AllOffsets() has %d entries, want %d", len(all), HoursPerDay)
@@ -128,6 +134,7 @@ func TestAllOffsets(t *testing.T) {
 }
 
 func TestNthSunday(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		year  int
 		month time.Month
@@ -155,6 +162,7 @@ func TestNthSunday(t *testing.T) {
 }
 
 func TestNorthernDSTWindow(t *testing.T) {
+	t.Parallel()
 	de, err := ByCode("de")
 	if err != nil {
 		t.Fatal(err)
@@ -187,6 +195,7 @@ func TestNorthernDSTWindow(t *testing.T) {
 }
 
 func TestSouthernDSTWindow(t *testing.T) {
+	t.Parallel()
 	br, err := ByCode("br")
 	if err != nil {
 		t.Fatal(err)
@@ -214,6 +223,7 @@ func TestSouthernDSTWindow(t *testing.T) {
 }
 
 func TestNoDSTRegions(t *testing.T) {
+	t.Parallel()
 	for _, code := range []string{"jp", "my", "tr", "ru-msk", "ae"} {
 		r, err := ByCode(code)
 		if err != nil {
@@ -233,6 +243,7 @@ func TestNoDSTRegions(t *testing.T) {
 }
 
 func TestLocalHour(t *testing.T) {
+	t.Parallel()
 	jp, err := ByCode("jp")
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +263,7 @@ func TestLocalHour(t *testing.T) {
 }
 
 func TestHolidayWindow(t *testing.T) {
+	t.Parallel()
 	w := HolidayWindow{StartMonth: time.December, StartDay: 20, EndMonth: time.January, EndDay: 6}
 	tests := []struct {
 		month time.Month
@@ -282,6 +294,7 @@ func TestHolidayWindow(t *testing.T) {
 }
 
 func TestRegionIsHoliday(t *testing.T) {
+	t.Parallel()
 	de, err := ByCode("de")
 	if err != nil {
 		t.Fatal(err)
@@ -295,6 +308,7 @@ func TestRegionIsHoliday(t *testing.T) {
 }
 
 func TestCatalogueIntegrity(t *testing.T) {
+	t.Parallel()
 	cat := Catalogue()
 	if len(cat) == 0 {
 		t.Fatal("empty catalogue")
@@ -318,6 +332,7 @@ func TestCatalogueIntegrity(t *testing.T) {
 }
 
 func TestTableIRegions(t *testing.T) {
+	t.Parallel()
 	regions := TableIRegions()
 	if len(regions) != 14 {
 		t.Fatalf("TableIRegions() has %d entries, want 14", len(regions))
@@ -341,6 +356,7 @@ func TestTableIRegions(t *testing.T) {
 }
 
 func TestByCodeAndByName(t *testing.T) {
+	t.Parallel()
 	if _, err := ByCode("nope"); err == nil {
 		t.Error("ByCode(nope) should fail")
 	}
@@ -357,6 +373,7 @@ func TestByCodeAndByName(t *testing.T) {
 }
 
 func TestHemisphereString(t *testing.T) {
+	t.Parallel()
 	if HemisphereNorth.String() != "north" || HemisphereSouth.String() != "south" || HemisphereNone.String() != "none" {
 		t.Error("hemisphere strings wrong")
 	}

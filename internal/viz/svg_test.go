@@ -6,6 +6,7 @@ import (
 )
 
 func TestBarChartSVG(t *testing.T) {
+	t.Parallel()
 	c := &BarChart{
 		Title:  "Test profile",
 		Labels: HourLabels(),
@@ -37,6 +38,7 @@ func TestBarChartSVG(t *testing.T) {
 }
 
 func TestBarChartOverlay(t *testing.T) {
+	t.Parallel()
 	c := &BarChart{
 		Title:   "With fit",
 		Labels:  ZoneLabels(),
@@ -57,6 +59,7 @@ func TestBarChartOverlay(t *testing.T) {
 }
 
 func TestBarChartErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := (&BarChart{Labels: []string{"a"}, Values: nil}).SVG(); err == nil {
 		t.Error("label/value mismatch accepted")
 	}
@@ -72,6 +75,7 @@ func TestBarChartErrors(t *testing.T) {
 }
 
 func TestBarChartEscaping(t *testing.T) {
+	t.Parallel()
 	c := &BarChart{
 		Title:  `<script>"bad" & dangerous</script>`,
 		Labels: []string{"a"},
@@ -90,6 +94,7 @@ func TestBarChartEscaping(t *testing.T) {
 }
 
 func TestLabelHelpers(t *testing.T) {
+	t.Parallel()
 	h := HourLabels()
 	if len(h) != 24 || h[0] != "0h" || h[23] != "23h" {
 		t.Errorf("HourLabels = %v", h)
@@ -101,6 +106,7 @@ func TestLabelHelpers(t *testing.T) {
 }
 
 func TestAllZeroValues(t *testing.T) {
+	t.Parallel()
 	c := &BarChart{Labels: []string{"a", "b"}, Values: []float64{0, 0}}
 	if _, err := c.SVG(); err != nil {
 		t.Fatalf("all-zero chart should render: %v", err)
