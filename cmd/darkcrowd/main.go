@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -366,20 +367,45 @@ func cmdScrape(args []string) error {
 	fs := flag.NewFlagSet("scrape", flag.ContinueOnError)
 	rawURL := fs.String("url", "", "forum base URL (required)")
 	out := fs.String("out", "scraped.csv", "output CSV path")
+	timeout := fs.Duration("timeout", crawler.DefaultTimeout, "per-request timeout")
+	retries := fs.Int("retries", crawler.DefaultMaxAttempts, "attempts per request (1 disables retries)")
+	minInterval := fs.Duration("min-interval", 0, "politeness gap between requests (0 = none)")
+	maxFailures := fs.Int("max-failures", 0, "threads allowed to fail before the crawl aborts")
+	ckpt := fs.String("checkpoint", "", "checkpoint file for resumable crawls (empty = off)")
+	ckptEvery := fs.Int("checkpoint-every", 1, "save the checkpoint every N completed threads")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rawURL == "" {
 		return fmt.Errorf("-url is required")
 	}
-	c := &crawler.Crawler{BaseURL: strings.TrimRight(*rawURL, "/")}
-	res, err := c.Scrape("scraped")
+	c := &crawler.Crawler{
+		BaseURL:     strings.TrimRight(*rawURL, "/"),
+		Timeout:     *timeout,
+		Retry:       crawler.RetryPolicy{MaxAttempts: *retries},
+		MinInterval: *minInterval,
+		MaxFailures: *maxFailures,
+	}
+	res, err := c.ScrapeResumable(context.Background(), "scraped",
+		crawler.CheckpointOptions{Path: *ckpt, Every: *ckptEvery})
 	if err != nil {
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "crawl interrupted; rerun with -checkpoint %s to resume\n", *ckpt)
+		}
 		return err
 	}
+	if res.Resumed {
+		fmt.Println("resumed from checkpoint")
+	}
 	fmt.Printf("measured server offset: %v\n", res.ServerOffset)
-	fmt.Printf("scraped %d posts (%d boards, %d threads, %d pages)\n",
-		res.Dataset.NumPosts(), res.Boards, res.Threads, res.Pages)
+	fmt.Printf("scraped %d posts (%d boards, %d threads, %d pages, %d retries)\n",
+		res.Dataset.NumPosts(), res.Boards, res.Threads, res.Pages, res.Retries)
+	if res.Skipped > 0 {
+		fmt.Printf("skipped %d thread(s):\n", res.Skipped)
+		for _, e := range res.Errors {
+			fmt.Printf("  %s\n", e)
+		}
+	}
 	if err := saveTrace(res.Dataset, *out); err != nil {
 		return err
 	}
@@ -393,6 +419,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	seed := fs.Int64("seed", 42, "crowd generation seed")
 	scale := fs.Int("scale", 4, "divide the forum census by this factor")
+	failEvery := fs.Int("fail-every", 0, "answer 503 on every Nth request (0 = never; for crawler testing)")
+	latency := fs.Duration("latency", 0, "delay every response by this much")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -415,6 +443,8 @@ func cmdServe(args []string) error {
 		Name:         spec.Name,
 		ServerOffset: time.Duration(spec.ServerOffsetHours) * time.Hour,
 		PageSize:     50,
+		FailEvery:    *failEvery,
+		Latency:      *latency,
 	})
 	if err := f.ImportCrowd(crowd, forum.ImportOptions{}); err != nil {
 		return err

@@ -51,6 +51,15 @@ func run(args []string, out io.Writer) error {
 		relays       = fs.Int("relays", 9, "number of onion relays")
 		seed         = fs.Int64("seed", 42, "seed for all synthetic data")
 		twitterScale = fs.Int("twitter-scale", 40, "scale of the reference Twitter dataset")
+
+		dropProb  = fs.Float64("drop", 0, "probability of dropping each relay cell")
+		resetProb = fs.Float64("reset", 0, "probability of resetting the circuit under each relay cell")
+		delayProb = fs.Float64("delay-prob", 0, "probability of delaying each relay cell")
+		delay     = fs.Duration("delay", 20*time.Millisecond, "how long a delayed cell stalls")
+		faultSeed = fs.Int64("fault-seed", 7, "seed for the fault plan")
+		maxFaults = fs.Int("max-faults", 0, "total fault budget (0 = unlimited)")
+		retries   = fs.Int("retries", crawler.DefaultMaxAttempts, "crawler attempts per request")
+		timeout   = fs.Duration("timeout", 5*time.Second, "crawler per-request timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,14 +96,13 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "server clock skew: %+dh (to be discovered by the probe)\n\n", spec.ServerOffsetHours)
 
-	// 1. Onion network.
+	// 1. Onion network (optionally with a seeded fault plan).
 	fmt.Fprintf(out, "booting onion network with %d relays...\n", *relays)
 	network := onion.NewNetwork(*seed)
 	defer network.Close()
 	if _, err := network.AddRelays(*relays); err != nil {
 		return err
 	}
-
 	// 2. Crowd + forum.
 	fmt.Fprintln(out, "synthesizing crowd and importing into the forum...")
 	truth, err := synth.ForumCrowd(*seed, spec)
@@ -122,6 +130,24 @@ func run(args []string, out io.Writer) error {
 	defer server.Close()
 	fmt.Fprintf(out, "forum is live as hidden service %s\n\n", svc.Onion())
 
+	// Faults start only once the service is published: the intro circuits
+	// are long-lived infrastructure built exactly once, while the crawl
+	// retries its way through whatever the fabric does to it.
+	var injector *onion.FaultInjector
+	if *dropProb > 0 || *resetProb > 0 || *delayProb > 0 {
+		injector = onion.NewFaultInjector(onion.FaultConfig{
+			Seed:      *faultSeed,
+			DropProb:  *dropProb,
+			ResetProb: *resetProb,
+			DelayProb: *delayProb,
+			Delay:     *delay,
+			MaxFaults: *maxFaults,
+		})
+		network.SetFaultInjector(injector)
+		fmt.Fprintf(out, "fault injection on: drop %.3f, reset %.3f, delay %.3f (%v), budget %d\n",
+			*dropProb, *resetProb, *delayProb, *delay, *maxFaults)
+	}
+
 	// 4. Scrape through a circuit.
 	torClient, err := onion.NewClient(network, "scraper")
 	if err != nil {
@@ -131,6 +157,8 @@ func run(args []string, out io.Writer) error {
 	c := &crawler.Crawler{
 		HTTPClient: &http.Client{Transport: &http.Transport{DialContext: torClient.DialContext}},
 		BaseURL:    "http://" + svc.Onion(),
+		Timeout:    *timeout,
+		Retry:      crawler.RetryPolicy{MaxAttempts: *retries},
 	}
 	fmt.Fprintln(out, "scraping through the onion circuit (probe + full pagination)...")
 	start := time.Now()
@@ -140,6 +168,9 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "scraped %d posts from %d boards / %d threads / %d pages in %s\n",
 		res.Dataset.NumPosts(), res.Boards, res.Threads, res.Pages, time.Since(start).Round(time.Millisecond))
+	if injector != nil {
+		fmt.Fprintf(out, "survived %s with %d crawler retries\n", injector.Stats(), res.Retries)
+	}
 	fmt.Fprintf(out, "measured server offset: %v (configured %+dh)\n\n", res.ServerOffset, spec.ServerOffsetHours)
 
 	// 5. Geolocate.

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"darkcrowd/internal/core/profile"
@@ -311,7 +312,10 @@ func zoneAxisToOffset(mean float64) float64 {
 }
 
 func nearestOffset(mean float64) tz.Offset {
-	zi := int(mean + 0.5)
+	// math.Floor, not int(): int truncates toward zero, so a slightly
+	// negative mean (legal on the circular zone axis) would round to
+	// zone 0 instead of wrapping to zone 23.
+	zi := int(math.Floor(mean + 0.5))
 	return profile.OffsetOf(((zi % tz.HoursPerDay) + tz.HoursPerDay) % tz.HoursPerDay)
 }
 

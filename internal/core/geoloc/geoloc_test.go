@@ -304,3 +304,32 @@ func TestPlacementShiftInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestNearestOffsetRounding is the regression test for the placement
+// rounding bug: int(mean+0.5) truncates toward zero, so a slightly
+// negative zone-axis mean (legal on the circular axis) rounded to zone 0
+// instead of wrapping to zone 23. math.Floor(mean+0.5) rounds uniformly.
+func TestNearestOffsetRounding(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		mean float64
+		zone int // expected zone index after rounding and wrapping
+	}{
+		{0, 0},
+		{0.49, 0},
+		{0.5, 1}, // half rounds up, not toward zero
+		{11.5, 12},
+		{23.4, 23},
+		{23.6, 0},  // wraps past the top of the axis
+		{-0.4, 0},  // rounds to zone 0...
+		{-0.6, 23}, // ...but past -0.5 wraps to zone 23, the truncation bug's victim
+		{-1.5, 23}, // Floor(-1.0) = -1 -> zone 23
+		{-11.7, 12},
+	}
+	for _, tt := range tests {
+		want := profile.OffsetOf(tt.zone)
+		if got := nearestOffset(tt.mean); got != want {
+			t.Errorf("nearestOffset(%v) = %v, want %v (zone %d)", tt.mean, got, want, tt.zone)
+		}
+	}
+}

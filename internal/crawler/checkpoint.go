@@ -1,0 +1,99 @@
+package crawler
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"darkcrowd/internal/trace"
+)
+
+// checkpointVersion guards the on-disk format; bump it when the layout
+// changes so stale snapshots fail loudly instead of resuming garbage.
+const checkpointVersion = 1
+
+// CheckpointOptions configures crawl snapshotting for ScrapeResumable.
+type CheckpointOptions struct {
+	// Path is the snapshot file. Empty disables checkpointing, which
+	// makes ScrapeResumable equivalent to ScrapeContext.
+	Path string
+	// Every saves a snapshot after each Every completed threads
+	// (default 1: after every thread).
+	Every int
+}
+
+// checkpoint is the JSON snapshot of an in-flight scrape: everything
+// needed to resume and end up with the dataset an uninterrupted crawl
+// would have produced. The probe result (ServerOffset) is saved too, so
+// resuming does not re-probe — the offset is measured once per crawl.
+type checkpoint struct {
+	Version      int           `json:"version"`
+	DatasetName  string        `json:"dataset_name"`
+	BaseURL      string        `json:"base_url"`
+	ServerOffset time.Duration `json:"server_offset_ns"`
+	// DoneThreads lists fully scraped thread IDs in completion order.
+	DoneThreads []string     `json:"done_threads"`
+	Threads     int          `json:"threads"`
+	Pages       int          `json:"pages"`
+	Skipped     int          `json:"skipped"`
+	Errors      []CrawlError `json:"errors,omitempty"`
+	Posts       []trace.Post `json:"posts"`
+}
+
+// loadCheckpoint reads a snapshot, returning (nil, nil) when none exists
+// yet. A snapshot for a different forum or dataset is an error, not a
+// silent fresh start: resuming the wrong crawl corrupts the dataset.
+func loadCheckpoint(path, datasetName, baseURL string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crawler: read checkpoint %s: %w", path, err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("crawler: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("crawler: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.DatasetName != datasetName || ck.BaseURL != baseURL {
+		return nil, fmt.Errorf("crawler: checkpoint %s is for dataset %q at %q, not %q at %q",
+			path, ck.DatasetName, ck.BaseURL, datasetName, baseURL)
+	}
+	return &ck, nil
+}
+
+// save writes the snapshot atomically (temp file + rename) so a crash
+// mid-save leaves the previous snapshot intact.
+func (ck *checkpoint) save(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("crawler: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("crawler: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("crawler: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("crawler: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("crawler: install checkpoint: %w", err)
+	}
+	return nil
+}

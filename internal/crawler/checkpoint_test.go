@@ -1,0 +1,217 @@
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"darkcrowd/internal/trace"
+)
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "crawl.ckpt")
+
+	// No file yet: not an error, just no checkpoint.
+	ck, err := loadCheckpoint(path, "ds", "http://x")
+	if err != nil || ck != nil {
+		t.Fatalf("missing checkpoint: ck=%v err=%v", ck, err)
+	}
+
+	want := &checkpoint{
+		Version:      checkpointVersion,
+		DatasetName:  "ds",
+		BaseURL:      "http://x",
+		ServerOffset: 3 * time.Hour,
+		DoneThreads:  []string{"1", "4", "2"},
+		Threads:      3,
+		Pages:        9,
+		Skipped:      1,
+		Errors:       []CrawlError{{Thread: "7", Page: 2, Err: "boom"}},
+		Posts: []trace.Post{
+			{UserID: "alice", Time: time.Date(2017, 6, 1, 12, 0, 0, 0, time.UTC)},
+		},
+	}
+	if err := want.save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadCheckpoint(path, "ds", "http://x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServerOffset != want.ServerOffset || got.Threads != want.Threads ||
+		got.Pages != want.Pages || got.Skipped != want.Skipped {
+		t.Errorf("loaded %+v, want %+v", got, want)
+	}
+	if len(got.DoneThreads) != 3 || got.DoneThreads[1] != "4" {
+		t.Errorf("done threads = %v", got.DoneThreads)
+	}
+	if len(got.Posts) != 1 || !got.Posts[0].Time.Equal(want.Posts[0].Time) {
+		t.Errorf("posts = %v", got.Posts)
+	}
+
+	// A checkpoint for another crawl must refuse to load.
+	if _, err := loadCheckpoint(path, "other", "http://x"); err == nil {
+		t.Error("dataset-name mismatch must error")
+	}
+	if _, err := loadCheckpoint(path, "ds", "http://y"); err == nil {
+		t.Error("base-URL mismatch must error")
+	}
+
+	// Corrupt and versioned-out files fail loudly.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path, "ds", "http://x"); err == nil {
+		t.Error("corrupt checkpoint must error")
+	}
+	stale := &checkpoint{Version: checkpointVersion + 1, DatasetName: "ds", BaseURL: "http://x"}
+	if err := stale.save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path, "ds", "http://x"); err == nil {
+		t.Error("future version must error")
+	}
+}
+
+// breakableForum serves a forum but answers 500 for one thread while
+// broken — the deterministic "crawl killer" for resume tests.
+type breakableForum struct {
+	handler http.Handler
+
+	mu       sync.Mutex
+	breakID  string
+	requests int
+}
+
+func (b *breakableForum) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	b.requests++
+	broken := b.breakID != "" && r.URL.Path == "/thread" && r.URL.Query().Get("id") == b.breakID
+	b.mu.Unlock()
+	if broken {
+		http.Error(w, "mid-crawl failure", http.StatusInternalServerError)
+		return
+	}
+	b.handler.ServeHTTP(w, r)
+}
+
+func (b *breakableForum) setBroken(id string) {
+	b.mu.Lock()
+	b.breakID = id
+	b.mu.Unlock()
+}
+
+func TestScrapeResumesFromCheckpoint(t *testing.T) {
+	t.Parallel()
+	f, _ := buildForum(t, time.Hour, 4)
+	bf := &breakableForum{handler: f.Handler()}
+	srv := httptest.NewServer(bf)
+	defer srv.Close()
+	ctx := context.Background()
+
+	// Reference: one uninterrupted crawl.
+	ref, _ := newFastCrawler(srv.URL)
+	refRes, err := ref.ScrapeContext(ctx, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := refRes.Dataset.WriteCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a crawl mid-flight: one thread fails permanently, and the
+	// default zero failure budget aborts the crawl after retries.
+	ckptPath := filepath.Join(t.TempDir(), "crawl.ckpt")
+	bf.setBroken("3")
+	c1, _ := newFastCrawler(srv.URL)
+	c1.Retry = RetryPolicy{MaxAttempts: 2}
+	_, err = c1.ScrapeResumable(ctx, "ckpt", CheckpointOptions{Path: ckptPath})
+	if err == nil {
+		t.Fatal("crawl with a permanently failing thread must abort")
+	}
+	if !strings.Contains(err.Error(), "failure budget exhausted") {
+		t.Fatalf("unexpected abort reason: %v", err)
+	}
+	if _, statErr := os.Stat(ckptPath); statErr != nil {
+		t.Fatalf("aborted crawl must leave a checkpoint: %v", statErr)
+	}
+
+	// Heal the forum and resume: the finished dataset must be
+	// byte-identical to the uninterrupted crawl's.
+	bf.setBroken("")
+	c2, _ := newFastCrawler(srv.URL)
+	res, err := c2.ScrapeResumable(ctx, "ckpt", CheckpointOptions{Path: ckptPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Error("resumed crawl must report Resumed")
+	}
+	if res.Skipped != 0 || len(res.Errors) != 0 {
+		t.Errorf("healed resume: skipped=%d errors=%v", res.Skipped, res.Errors)
+	}
+	var gotCSV bytes.Buffer
+	if err := res.Dataset.WriteCSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refCSV.Bytes(), gotCSV.Bytes()) {
+		t.Errorf("resumed dataset differs from uninterrupted crawl (%d vs %d bytes)",
+			gotCSV.Len(), refCSV.Len())
+	}
+	if refRes.Threads != res.Threads || refRes.Pages != res.Pages {
+		t.Errorf("counters: resumed %d threads/%d pages, reference %d/%d",
+			res.Threads, res.Pages, refRes.Threads, refRes.Pages)
+	}
+	// A completed crawl cleans its checkpoint up.
+	if _, statErr := os.Stat(ckptPath); !os.IsNotExist(statErr) {
+		t.Error("finished crawl must remove its checkpoint")
+	}
+}
+
+func TestScrapeSkipsWithinFailureBudget(t *testing.T) {
+	t.Parallel()
+	f, _ := buildForum(t, 0, 4)
+	bf := &breakableForum{handler: f.Handler()}
+	srv := httptest.NewServer(bf)
+	defer srv.Close()
+
+	bf.setBroken("3")
+	c, _ := newFastCrawler(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2}
+	c.MaxFailures = 1
+	res, err := c.ScrapeContext(context.Background(), "budget")
+	if err != nil {
+		t.Fatalf("one failing thread within budget must not abort: %v", err)
+	}
+	if res.Skipped != 1 || len(res.Errors) != 1 {
+		t.Fatalf("skipped=%d errors=%v, want exactly the broken thread", res.Skipped, res.Errors)
+	}
+	if res.Errors[0].Thread != "3" {
+		t.Errorf("recorded error %+v, want thread 3", res.Errors[0])
+	}
+	if !strings.Contains(res.Errors[0].Err, "status 500") {
+		t.Errorf("error report should carry the cause: %q", res.Errors[0].Err)
+	}
+	// The rest of the forum was still collected.
+	full, _ := newFastCrawler(srv.URL)
+	bf.setBroken("")
+	fullRes, err := full.ScrapeContext(context.Background(), "budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset.NumPosts() >= fullRes.Dataset.NumPosts() {
+		t.Errorf("skipped crawl has %d posts, full crawl %d", res.Dataset.NumPosts(), fullRes.Dataset.NumPosts())
+	}
+	if res.Threads != fullRes.Threads-1 {
+		t.Errorf("threads = %d, want %d", res.Threads, fullRes.Threads-1)
+	}
+}

@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"html"
 	"strconv"
@@ -65,22 +66,28 @@ func (m *Monitor) now() time.Time {
 	return time.Now().UTC()
 }
 
-// Poll sweeps every thread page of the forum once and records posts not
-// seen before, timestamped with the observer's clock. It returns the
-// number of new posts observed.
+// Poll runs PollContext with a background context.
 func (m *Monitor) Poll() (int, error) {
+	return m.PollContext(context.Background())
+}
+
+// PollContext sweeps every thread page of the forum once and records
+// posts not seen before, timestamped with the observer's clock. It
+// returns the number of new posts observed. Fetches inherit the
+// crawler's robustness layer (timeouts, retries, politeness).
+func (m *Monitor) PollContext(ctx context.Context) (int, error) {
 	observedAt := m.now()
 	baseline := m.polls == 0 && m.FirstSweepBaseline
 	m.polls++
 
-	index, err := m.Crawler.get("/")
+	index, err := m.Crawler.get(ctx, "/")
 	if err != nil {
 		return 0, fmt.Errorf("crawler: monitor index sweep: %w", err)
 	}
 	newPosts := 0
 	seenThreads := map[string]bool{}
 	for _, bm := range boardLinkRe.FindAllStringSubmatch(index, -1) {
-		boardPage, err := m.Crawler.get("/board?id=" + bm[1])
+		boardPage, err := m.Crawler.get(ctx, "/board?id="+bm[1])
 		if err != nil {
 			return newPosts, err
 		}
@@ -89,7 +96,7 @@ func (m *Monitor) Poll() (int, error) {
 				continue
 			}
 			seenThreads[tm[1]] = true
-			n, err := m.pollThread(tm[1], observedAt, baseline)
+			n, err := m.pollThread(ctx, tm[1], observedAt, baseline)
 			if err != nil {
 				return newPosts, err
 			}
@@ -100,10 +107,10 @@ func (m *Monitor) Poll() (int, error) {
 }
 
 // pollThread walks one thread's pages, recording unseen posts.
-func (m *Monitor) pollThread(threadID string, observedAt time.Time, baseline bool) (int, error) {
+func (m *Monitor) pollThread(ctx context.Context, threadID string, observedAt time.Time, baseline bool) (int, error) {
 	newPosts := 0
 	for page := 0; ; page++ {
-		body, err := m.Crawler.get(fmt.Sprintf("/thread?id=%s&page=%d", threadID, page))
+		body, err := m.Crawler.get(ctx, fmt.Sprintf("/thread?id=%s&page=%d", threadID, page))
 		if err != nil {
 			return newPosts, err
 		}

@@ -1,0 +1,122 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Default knobs for the robustness layer. Onion services are flaky by
+// default (§V's collection ran for weeks against Tor hidden services),
+// so retries and per-request timeouts are on unless explicitly disabled.
+const (
+	// DefaultTimeout bounds each individual HTTP exchange.
+	DefaultTimeout = 30 * time.Second
+	// DefaultMaxBody caps how much of a response body is read; forum
+	// pages are small, so anything bigger is a misbehaving server.
+	DefaultMaxBody = 4 << 20
+	// DefaultMaxAttempts is the per-request attempt budget.
+	DefaultMaxAttempts = 4
+	// DefaultBaseDelay is the first retry backoff.
+	DefaultBaseDelay = 50 * time.Millisecond
+	// DefaultMaxDelay caps the exponential backoff.
+	DefaultMaxDelay = 2 * time.Second
+	// DefaultJitter is the ± fraction randomized onto each backoff.
+	DefaultJitter = 0.2
+)
+
+// RetryPolicy bounds the exponential-backoff retry loop wrapped around
+// every HTTP exchange. The zero value means "use the defaults"; set
+// MaxAttempts to 1 to disable retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, first
+	// attempt included (default DefaultMaxAttempts; 1 disables
+	// retries).
+	MaxAttempts int
+	// BaseDelay is the pause before the first retry; each further retry
+	// doubles it (default DefaultBaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default DefaultMaxDelay).
+	MaxDelay time.Duration
+	// Jitter randomizes each backoff by ±Jitter fraction so synchronized
+	// crawlers do not hammer a recovering service in lockstep (default
+	// DefaultJitter; negative disables).
+	Jitter float64
+	// Seed drives the jitter; a fixed seed gives a reproducible backoff
+	// schedule (default 1).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Jitter == 0 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// backoff returns the pause before the retry-th retry (1-based):
+// BaseDelay doubled per retry, capped at MaxDelay, jittered. The policy
+// must already carry its defaults. rng may be nil to skip jitter.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rng.Float64()-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// transientStatus reports whether an HTTP status is worth retrying:
+// server-side failures and throttling, never client errors.
+func transientStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// transientError reports whether a transport-level failure is worth
+// retrying. Against a flaky onion fabric essentially everything is —
+// connection resets, truncated bodies, stream timeouts (including our
+// own per-request deadline firing). The one hard stop is cancellation of
+// the caller's context, which means the crawl itself is being aborted.
+func transientError(err error) bool {
+	if err == nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// sleepCtx pauses for d or until the context is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

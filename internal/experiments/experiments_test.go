@@ -55,8 +55,8 @@ func TestAllIDsUnique(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	if len(seen) != 25 {
-		t.Errorf("%d experiments, want 25 (17 paper artefacts + 3 discussion + 5 ablations)", len(seen))
+	if len(seen) != 26 {
+		t.Errorf("%d experiments, want 26 (17 paper artefacts + 3 discussion + 5 ablations + crawl-faults)", len(seen))
 	}
 }
 

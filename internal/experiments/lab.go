@@ -365,6 +365,7 @@ func AllIDs() []string {
 		"discussion-delay", "discussion-adversary", "discussion-monitor",
 		"ablate-distance", "ablate-polish", "ablate-threshold",
 		"ablate-reference", "ablate-crowdsize",
+		"crawl-faults",
 	}
 }
 
@@ -426,6 +427,8 @@ func (l *Lab) Run(id string) (*Result, error) {
 		res, err = l.AblateReference()
 	case "ablate-crowdsize":
 		res, err = l.AblateCrowdSize()
+	case "crawl-faults":
+		res, err = l.CrawlFaults()
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, AllIDs())
 	}

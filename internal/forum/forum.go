@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkcrowd/internal/trace"
@@ -103,11 +104,22 @@ type Config struct {
 	// fall back to monitoring the forum and timestamping posts
 	// themselves (crawler.Monitor).
 	HideTimestamps bool
+	// FailEvery, when positive, makes every FailEvery-th HTTP request
+	// answer 503 — a deterministic stand-in for the intermittent
+	// overload a real hidden service shows, used to exercise crawler
+	// retries end to end.
+	FailEvery int
+	// Latency, when positive, delays every HTTP response — a slow
+	// server, for exercising crawler timeouts.
+	Latency time.Duration
 }
 
 // Forum is the engine state.
 type Forum struct {
 	cfg Config
+
+	// reqCount numbers HTTP requests for the FailEvery fault knob.
+	reqCount atomic.Int64
 
 	mu      sync.RWMutex
 	members map[string]*Member // by name

@@ -6,6 +6,7 @@ import (
 	"html/template"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // HTTP front end. The markup is deliberately simple and regular — real
@@ -51,7 +52,10 @@ var pageTemplates = template.Must(template.New("forum").Parse(`
 </body></html>{{end}}
 `))
 
-// Handler returns the forum's http.Handler.
+// Handler returns the forum's http.Handler. When the FailEvery or
+// Latency fault knobs are set, the handler is wrapped so every
+// FailEvery-th request answers 503 and every response waits Latency
+// first — deterministic server-side flakiness for crawler tests.
 func (f *Forum) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", f.handleIndex)
@@ -59,7 +63,23 @@ func (f *Forum) Handler() http.Handler {
 	mux.HandleFunc("/thread", f.handleThread)
 	mux.HandleFunc("/register", f.handleRegister)
 	mux.HandleFunc("/reply", f.handleReply)
-	return mux
+	if f.cfg.FailEvery <= 0 && f.cfg.Latency <= 0 {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f.cfg.Latency > 0 {
+			select {
+			case <-time.After(f.cfg.Latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if n := f.cfg.FailEvery; n > 0 && f.reqCount.Add(1)%int64(n) == 0 {
+			http.Error(w, "injected failure", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (f *Forum) handleIndex(w http.ResponseWriter, r *http.Request) {

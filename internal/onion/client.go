@@ -134,38 +134,59 @@ func (c *Client) DialContext(ctx context.Context, _, address string) (net.Conn, 
 }
 
 // dialOnion reaches a hidden service: descriptor fetch, rendezvous
-// establishment, introduction, then a stream on the joined circuit.
+// establishment, introduction, then a stream on the joined circuit. Any
+// dial failure — a dead cached circuit, a lost BEGIN, a connect timeout
+// because the service's leg of the rendezvous died — evicts the cached
+// circuit and retries once on a fresh rendezvous. (A circuit can look
+// healthy from the client's side while its far leg is gone, so eviction
+// must cover connect timeouts, not just stream-allocation failures.)
 func (c *Client) dialOnion(onion string) (net.Conn, error) {
+	conn, circ, err := c.dialOnionOnce(onion)
+	if err == nil {
+		return conn, nil
+	}
+	c.evictRendCirc(onion, circ)
+	conn, _, retryErr := c.dialOnionOnce(onion)
+	if retryErr != nil {
+		return nil, fmt.Errorf("onion: dial %q failed and retry failed (%v): %w", onion, retryErr, err)
+	}
+	return conn, nil
+}
+
+// evictRendCirc drops a rendezvous circuit from the cache (if still
+// cached) and tears it down.
+func (c *Client) evictRendCirc(onion string, circ *circuit) {
+	if circ == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.rendCircs[onion] == circ {
+		delete(c.rendCircs, onion)
+	}
+	c.mu.Unlock()
+	circ.teardown()
+}
+
+// dialOnionOnce performs a single dial attempt; on failure it returns
+// the circuit involved (if any) so the caller can evict it.
+func (c *Client) dialOnionOnce(onion string) (net.Conn, *circuit, error) {
 	circ, err := c.rendezvousCircuit(onion)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	stream, err := circ.allocStream()
 	if err != nil {
-		// The cached circuit may have died; rebuild once.
-		c.mu.Lock()
-		if c.rendCircs[onion] == circ {
-			delete(c.rendCircs, onion)
-		}
-		c.mu.Unlock()
-		circ, err = c.rendezvousCircuit(onion)
-		if err != nil {
-			return nil, err
-		}
-		stream, err = circ.allocStream()
-		if err != nil {
-			return nil, err
-		}
+		return nil, circ, err
 	}
 	if err := circ.sendForward(relayMsg{Cmd: relayBegin, Stream: stream.id}); err != nil {
 		stream.remoteClose()
-		return nil, err
+		return nil, circ, err
 	}
 	if err := stream.waitConnected(c.ep.net.controlDeadline()); err != nil {
 		stream.remoteClose()
-		return nil, err
+		return nil, circ, err
 	}
-	return stream, nil
+	return stream, circ, nil
 }
 
 // rendezvousCircuit returns (building if needed) the joined rendezvous
@@ -218,50 +239,40 @@ func (c *Client) rendezvousCircuit(onion string) (*circuit, error) {
 		return nil, fmt.Errorf("onion: establish rendezvous at %s: %w", rp, err)
 	}
 
-	// Introduce ourselves through one of the service's intro points,
-	// carrying an ephemeral key for the end-to-end handshake.
+	// Introduce ourselves through the service's intro points, carrying an
+	// ephemeral key for the end-to-end handshake. Intro points are tried
+	// in order: one whose service-side circuit has died forwards the
+	// introduction into the void and the rendezvous never completes, so a
+	// rendezvous timeout moves on to the next intro point (as Tor clients
+	// fail over between introduction points).
 	e2eKey, err := newKeyPair()
 	if err != nil {
 		rendCirc.teardown()
 		return nil, err
 	}
-	intro := desc.IntroPoints[0]
-	introPath, err := c.circuitPathTo(intro, rp)
-	if err != nil {
-		rendCirc.teardown()
-		return nil, err
+	var reply relayMsg
+	joined := false
+	var lastErr error
+	for _, intro := range desc.IntroPoints {
+		if err := c.introduce1(onion, intro, rp, cookie, e2eKey.pub); err != nil {
+			lastErr = err
+			continue
+		}
+		// Wait for the service to join us at the rendezvous point; its
+		// reply carries the service's ephemeral key, completing the
+		// end-to-end handshake.
+		r, err := rendCirc.waitControl(relayRendezvous2)
+		if err != nil {
+			lastErr = fmt.Errorf("onion: rendezvous with %s (intro %s): %w", onion, intro, err)
+			continue
+		}
+		reply = r
+		joined = true
+		break
 	}
-	introCirc, err := c.ep.buildCircuit(introPath)
-	if err != nil {
+	if !joined {
 		rendCirc.teardown()
-		return nil, fmt.Errorf("onion: introduction circuit: %w", err)
-	}
-	body := encodeIntroduce1(introduce1Payload{
-		Onion:           onion,
-		RendezvousPoint: rp,
-		Cookie:          cookie,
-		ClientPub:       e2eKey.pub,
-	})
-	if err := introCirc.sendForward(relayMsg{Cmd: relayIntroduce1, Body: body}); err != nil {
-		introCirc.teardown()
-		rendCirc.teardown()
-		return nil, err
-	}
-	if _, err := introCirc.waitControl(relayIntroduceAck); err != nil {
-		introCirc.teardown()
-		rendCirc.teardown()
-		return nil, fmt.Errorf("onion: introduce to %s: %w", onion, err)
-	}
-	// The introduction circuit has served its purpose.
-	introCirc.teardown()
-
-	// Wait for the service to join us at the rendezvous point; its reply
-	// carries the service's ephemeral key, completing the end-to-end
-	// handshake.
-	reply, err := rendCirc.waitControl(relayRendezvous2)
-	if err != nil {
-		rendCirc.teardown()
-		return nil, fmt.Errorf("onion: rendezvous with %s: %w", onion, err)
+		return nil, lastErr
 	}
 	e2eKeys, err := deriveHopKeys(e2eKey.priv, reply.Body)
 	if err != nil {
@@ -282,6 +293,34 @@ func (c *Client) rendezvousCircuit(onion string) (*circuit, error) {
 	}
 	c.rendCircs[onion] = rendCirc
 	return rendCirc, nil
+}
+
+// introduce1 sends one INTRODUCE1 through a fresh circuit to the given
+// intro point and waits for the acknowledgement.
+func (c *Client) introduce1(onion, intro, rp string, cookie, clientPub []byte) error {
+	introPath, err := c.circuitPathTo(intro, rp)
+	if err != nil {
+		return err
+	}
+	introCirc, err := c.ep.buildCircuit(introPath)
+	if err != nil {
+		return fmt.Errorf("onion: introduction circuit: %w", err)
+	}
+	// The introduction circuit has served its purpose once acked.
+	defer introCirc.teardown()
+	body := encodeIntroduce1(introduce1Payload{
+		Onion:           onion,
+		RendezvousPoint: rp,
+		Cookie:          cookie,
+		ClientPub:       clientPub,
+	})
+	if err := introCirc.sendForward(relayMsg{Cmd: relayIntroduce1, Body: body}); err != nil {
+		return err
+	}
+	if _, err := introCirc.waitControl(relayIntroduceAck); err != nil {
+		return fmt.Errorf("onion: introduce to %s: %w", onion, err)
+	}
+	return nil
 }
 
 // entryRelay returns the client's persistent first hop: the configured

@@ -1,0 +1,251 @@
+package onion
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fault injection for the onion fabric. Real onion services are flaky by
+// default — relays drop off, circuits reset, cells stall — and the paper's
+// weeks-long §V collection had to survive all of it. The injector makes
+// that operating condition reproducible: a seeded plan decides, cell by
+// cell, whether the fabric delivers, drops, delays, or resets, so the
+// crawler's retry/checkpoint machinery can be exercised under test.
+//
+// Determinism guarantee: the *sequence of fault decisions* (kind and
+// count) is a pure function of the seed and the configured rates. Which
+// in-flight cell each decision lands on depends on goroutine scheduling,
+// but the crawl-level invariant the tests assert is scheduling-free: a
+// scrape through a faulty fabric, with retries enabled and the fault
+// budget bounded, produces exactly the dataset a fault-free scrape does.
+
+// FaultConfig tunes a FaultInjector. All probabilities are per routed
+// relay cell; control cells (CREATE/CREATED/DESTROY) always pass so the
+// plan models data-plane trouble, not a dead network.
+type FaultConfig struct {
+	// Seed drives the fault plan; same seed, same decision sequence.
+	Seed int64
+	// DropProb is the probability of silently dropping a relay cell —
+	// the onion stream stalls until the reader times out.
+	DropProb float64
+	// ResetProb is the probability of replacing a relay cell with a
+	// DESTROY, tearing down the whole circuit (a relay-side reset).
+	ResetProb float64
+	// DelayProb is the probability of stalling a relay cell by Delay
+	// before delivery (congestion on a link).
+	DelayProb float64
+	// Delay is how long a delayed cell stalls (default 20ms).
+	Delay time.Duration
+	// MaxFaults bounds the total number of injected faults; once spent
+	// the fabric behaves perfectly. 0 means unlimited.
+	MaxFaults int
+}
+
+// FaultStats counts the faults an injector has fired.
+type FaultStats struct {
+	Drops, Resets, Delays int
+}
+
+// Total returns the number of injected faults of any kind.
+func (s FaultStats) Total() int { return s.Drops + s.Resets + s.Delays }
+
+func (s FaultStats) String() string {
+	return fmt.Sprintf("%d faults (%d drops, %d resets, %d delays)",
+		s.Total(), s.Drops, s.Resets, s.Delays)
+}
+
+type faultAction int
+
+const (
+	faultDeliver faultAction = iota
+	faultDrop
+	faultReset
+	faultDelay
+)
+
+// FaultInjector is a seeded, deterministic fault plan for a Network.
+// Install it with Network.SetFaultInjector.
+type FaultInjector struct {
+	cfg FaultConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultInjector creates an injector from a config.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 20 * time.Millisecond
+	}
+	return &FaultInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the counts of faults fired so far.
+func (fi *FaultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// decide draws the next fault decision for a cell about to be routed.
+func (fi *FaultInjector) decide(c Cell) (faultAction, time.Duration) {
+	if c.Cmd != CmdRelay {
+		return faultDeliver, 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.cfg.MaxFaults > 0 && fi.stats.Total() >= fi.cfg.MaxFaults {
+		return faultDeliver, 0
+	}
+	r := fi.rng.Float64()
+	switch {
+	case r < fi.cfg.DropProb:
+		fi.stats.Drops++
+		return faultDrop, 0
+	case r < fi.cfg.DropProb+fi.cfg.ResetProb:
+		fi.stats.Resets++
+		return faultReset, 0
+	case r < fi.cfg.DropProb+fi.cfg.ResetProb+fi.cfg.DelayProb:
+		fi.stats.Delays++
+		return faultDelay, fi.cfg.Delay
+	}
+	return faultDeliver, 0
+}
+
+// FlakyStep scripts how a FlakyTransport treats one request, in order.
+type FlakyStep int
+
+const (
+	// FlakyOK passes the request through untouched.
+	FlakyOK FlakyStep = iota
+	// FlakyConnReset fails before any response, like ECONNRESET.
+	FlakyConnReset
+	// Flaky500 answers 500 without touching the upstream.
+	Flaky500
+	// Flaky503 answers 503 without touching the upstream.
+	Flaky503
+	// FlakyHang blocks until the request's context is done.
+	FlakyHang
+	// FlakyBodyCut serves the upstream response but severs the body
+	// halfway, like a connection reset mid-transfer.
+	FlakyBodyCut
+)
+
+// FlakyTransport is a scripted http.RoundTripper for exercising retry
+// logic over plain HTTP: the first len(script) requests each suffer the
+// scripted step; later requests pass through. It is deterministic —
+// no randomness, the script *is* the fault plan.
+type FlakyTransport struct {
+	// Base performs the real exchanges (default http.DefaultTransport).
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	script []FlakyStep
+	calls  int
+	faults int
+}
+
+// NewFlakyTransport wraps base with a fault script.
+func NewFlakyTransport(base http.RoundTripper, script ...FlakyStep) *FlakyTransport {
+	return &FlakyTransport{Base: base, script: script}
+}
+
+// Calls returns how many requests the transport has seen.
+func (t *FlakyTransport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// Faults returns how many requests were made to fail.
+func (t *FlakyTransport) Faults() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
+}
+
+func (t *FlakyTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	step := FlakyOK
+	if t.calls < len(t.script) {
+		step = t.script[t.calls]
+	}
+	t.calls++
+	if step != FlakyOK {
+		t.faults++
+	}
+	t.mu.Unlock()
+
+	switch step {
+	case FlakyConnReset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case Flaky500, Flaky503:
+		status := http.StatusInternalServerError
+		if step == Flaky503 {
+			status = http.StatusServiceUnavailable
+		}
+		return &http.Response{
+			StatusCode: status,
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("injected fault")),
+			Request: req,
+		}, nil
+	case FlakyHang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case FlakyBodyCut:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &cutBody{rc: resp.Body, remaining: 64}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.base().RoundTrip(req)
+}
+
+// cutBody serves at most remaining bytes, then fails like a reset.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err != nil {
+		return n, err
+	}
+	if b.remaining <= 0 {
+		return n, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	return n, nil
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,347 @@
+package onion
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultInjectorDeterministicPlan(t *testing.T) {
+	t.Parallel()
+	cfg := FaultConfig{Seed: 42, DropProb: 0.2, ResetProb: 0.1, DelayProb: 0.1}
+	run := func() []faultAction {
+		fi := NewFaultInjector(cfg)
+		var out []faultAction
+		for i := 0; i < 500; i++ {
+			a, _ := fi.decide(Cell{Cmd: CmdRelay})
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at cell %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var faults int
+	for _, act := range a {
+		if act != faultDeliver {
+			faults++
+		}
+	}
+	if faults < 100 {
+		t.Errorf("with 40%% total fault probability over 500 cells, got only %d faults", faults)
+	}
+	// A different seed draws a different plan.
+	other := NewFaultInjector(FaultConfig{Seed: 43, DropProb: 0.2, ResetProb: 0.1, DelayProb: 0.1})
+	same := true
+	for i := 0; i < 500; i++ {
+		act, _ := other.decide(Cell{Cmd: CmdRelay})
+		if act != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should not produce the same plan")
+	}
+}
+
+func TestFaultInjectorSparesControlCellsAndHonorsBudget(t *testing.T) {
+	t.Parallel()
+	fi := NewFaultInjector(FaultConfig{Seed: 1, DropProb: 1, MaxFaults: 3})
+	for i := 0; i < 10; i++ {
+		if a, _ := fi.decide(Cell{Cmd: CmdCreate}); a != faultDeliver {
+			t.Fatal("control cells must always pass")
+		}
+	}
+	drops := 0
+	for i := 0; i < 10; i++ {
+		if a, _ := fi.decide(Cell{Cmd: CmdRelay}); a == faultDrop {
+			drops++
+		}
+	}
+	if drops != 3 {
+		t.Errorf("drops = %d, want exactly the MaxFaults budget of 3", drops)
+	}
+	if got := fi.Stats().Total(); got != 3 {
+		t.Errorf("stats total = %d, want 3", got)
+	}
+	if s := fi.Stats().String(); !strings.Contains(s, "3 faults") {
+		t.Errorf("stats string = %q", s)
+	}
+}
+
+func TestFlakyTransportScript(t *testing.T) {
+	t.Parallel()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(bytes.Repeat([]byte("y"), 512))
+	}))
+	defer srv.Close()
+	ft := NewFlakyTransport(http.DefaultTransport,
+		FlakyConnReset, Flaky500, Flaky503, FlakyBodyCut)
+	client := &http.Client{Transport: ft}
+
+	// 1: connection reset before any response.
+	_, err := client.Get(srv.URL)
+	var opErr *net.OpError
+	if err == nil || !errors.As(err, &opErr) {
+		t.Fatalf("scripted reset: got %v", err)
+	}
+	// 2 and 3: synthesized 500/503 without touching the upstream.
+	for _, want := range []int{500, 503} {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("status = %d, want %d", resp.StatusCode, want)
+		}
+	}
+	// 4: body severed mid-transfer.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Error("cut body must fail mid-read")
+	}
+	if len(body) == 0 || len(body) >= 512 {
+		t.Errorf("read %d bytes before the cut, want partial", len(body))
+	}
+	// 5+: past the script, requests pass through.
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 512 {
+		t.Errorf("post-script request: %d bytes, err %v", len(body), err)
+	}
+	if ft.Calls() != 5 || ft.Faults() != 4 {
+		t.Errorf("calls=%d faults=%d, want 5/4", ft.Calls(), ft.Faults())
+	}
+}
+
+func TestFlakyTransportHangHonorsContext(t *testing.T) {
+	t.Parallel()
+	ft := NewFlakyTransport(http.DefaultTransport, FlakyHang)
+	client := &http.Client{Transport: ft}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.invalid/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("hung request must fail when its context expires")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("hang did not release on context expiry")
+	}
+}
+
+// TestStreamWritePartialOnRemoteClose is the regression test for the
+// old Stream.Write, which checked closure once up front and then kept
+// sealing DATA cells onto a dead circuit, reporting the full byte count
+// with a nil error. The peer here closes after a short read; a large
+// write must stop with an error and a partial count.
+func TestStreamWritePartialOnRemoteClose(t *testing.T) {
+	t.Parallel()
+	n := newTestNetwork(t, 6)
+	svc, err := HostService(n, "closer-svc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	accepted := make(chan struct{})
+	go func() {
+		ln := svc.Listener()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Read a little, then slam the stream shut.
+		buf := make([]byte, 4096)
+		io.ReadFull(conn, buf)
+		conn.Close()
+		close(accepted)
+	}()
+
+	client, err := NewClient(n, "big-writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Paced, bounded writes: enough traffic that the remote END lands
+	// mid-loop, but never enough in flight to saturate the relay inboxes
+	// in both directions at once (which no real workload does either).
+	payload := bytes.Repeat([]byte("z"), 128<<10)
+	const maxTotal = 32 << 20
+	var written int
+	var writeErr error
+	for writeErr == nil {
+		if written > maxTotal {
+			t.Fatalf("wrote %d bytes and never saw the remote close: the old full-count-nil-error Write bug", written)
+		}
+		var w int
+		w, writeErr = conn.Write(payload)
+		written += w
+		time.Sleep(time.Millisecond)
+	}
+	<-accepted
+	if !errors.Is(writeErr, ErrStreamClosed) {
+		t.Fatalf("write to closed stream: got %v, want ErrStreamClosed", writeErr)
+	}
+	if written > maxTotal {
+		t.Errorf("wrote %d bytes before the close, want a bounded partial count", written)
+	}
+}
+
+func TestStreamWriteDeadlineMidWrite(t *testing.T) {
+	t.Parallel()
+	n := newTestNetwork(t, 6)
+	svc, err := HostService(n, "slow-reader", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ln := svc.Listener()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Drain slowly: the pipeline keeps moving (so the writer is not
+		// permanently parked in backpressure) but far slower than the
+		// writer produces, so the deadline fires mid-write.
+		buf := make([]byte, 32<<10)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	client, err := NewClient(n, "deadline-writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn, err := client.Dial(svc.Onion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetWriteDeadline(time.Now().Add(150 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("q"), 8<<20)
+	nWritten, err := conn.Write(payload)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v (wrote %d), want deadline error", err, nWritten)
+	}
+	if nWritten == len(payload) {
+		t.Error("full write claimed despite expired deadline")
+	}
+}
+
+func TestScrapeLevelInvariantUnderFaults(t *testing.T) {
+	t.Parallel()
+	// An echo service keeps answering while the fabric drops and resets
+	// relay cells; with the client retrying dials, every request must
+	// eventually complete with intact data.
+	n := newTestNetwork(t, 6)
+	n.SetControlTimeout(500 * time.Millisecond)
+	svc, err := HostService(n, "echo-under-fire", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	go func() {
+		ln := svc.Listener()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+
+	fi := NewFaultInjector(FaultConfig{Seed: 5, DropProb: 0.02, ResetProb: 0.01, MaxFaults: 8})
+	n.SetFaultInjector(fi)
+
+	client, err := NewClient(n, "fault-tolerant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	msg := bytes.Repeat([]byte("ping"), 1024)
+	for i := 0; i < 5; i++ {
+		ok := false
+		var lastErr error
+		for attempt := 0; attempt < 6 && !ok; attempt++ {
+			conn, err := client.Dial(svc.Onion())
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if _, err := conn.Write(msg); err != nil {
+				lastErr = err
+				conn.Close()
+				continue
+			}
+			got := make([]byte, len(msg))
+			conn.SetReadDeadline(time.Now().Add(time.Second))
+			if _, err := io.ReadFull(conn, got); err != nil {
+				lastErr = err
+				conn.Close()
+				continue
+			}
+			conn.Close()
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("round %d: echo corrupted", i)
+			}
+			ok = true
+		}
+		if !ok {
+			t.Fatalf("round %d never completed: %v (stats: %s)", i, lastErr, fi.Stats())
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Network struct {
 	rng   *rand.Rand
 
 	ctrlTimeout time.Duration
+
+	// faults, when set, vets every routed cell (deterministic
+	// drop/delay/reset injection; see FaultInjector).
+	faults *FaultInjector
 }
 
 // NewNetwork creates an empty network. The seed drives relay selection so
@@ -138,14 +142,37 @@ func (n *Network) detach(id string) {
 	delete(n.nodes, id)
 }
 
+// SetFaultInjector installs (or, with nil, removes) a fault plan vetting
+// every routed cell. Install before traffic starts for a reproducible
+// decision sequence.
+func (n *Network) SetFaultInjector(fi *FaultInjector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = fi
+}
+
 // send routes a cell to the destination node. Unknown destinations are
 // dropped, as a failed TCP link would drop traffic.
 func (n *Network) send(to string, c Cell) {
 	n.mu.RLock()
 	nd, ok := n.nodes[to]
+	fi := n.faults
 	n.mu.RUnlock()
 	if !ok {
 		return
+	}
+	if fi != nil {
+		switch action, delay := fi.decide(c); action {
+		case faultDrop:
+			return
+		case faultReset:
+			// The link resets: the destination sees the circuit die
+			// instead of the cell.
+			nd.deliver(Cell{Circ: c.Circ, Cmd: CmdDestroy, From: c.From})
+			return
+		case faultDelay:
+			time.Sleep(delay)
+		}
 	}
 	nd.deliver(c)
 }

@@ -136,21 +136,27 @@ func (s *Stream) Read(p []byte) (int, error) {
 	}
 }
 
-// Write implements net.Conn, chunking into DATA cells.
+// Write implements net.Conn, chunking into DATA cells. Closure and the
+// write deadline are re-checked per chunk: a stream closed or expired
+// mid-write stops immediately with the partial byte count instead of
+// sealing and sending DATA cells onto a dead circuit.
 func (s *Stream) Write(p []byte) (int, error) {
-	select {
-	case <-s.closed:
-		return 0, ErrStreamClosed
-	default:
-	}
-	s.mu.Lock()
-	deadline := s.writeDeadline
-	s.mu.Unlock()
-	if !deadline.IsZero() && time.Now().After(deadline) {
-		return 0, os.ErrDeadlineExceeded
-	}
 	written := 0
-	for len(p) > 0 {
+	for {
+		select {
+		case <-s.closed:
+			return written, ErrStreamClosed
+		default:
+		}
+		s.mu.Lock()
+		deadline := s.writeDeadline
+		s.mu.Unlock()
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return written, os.ErrDeadlineExceeded
+		}
+		if len(p) == 0 {
+			return written, nil
+		}
 		n := len(p)
 		if n > maxDataBody {
 			n = maxDataBody
@@ -167,15 +173,18 @@ func (s *Stream) Write(p []byte) (int, error) {
 		written += n
 		p = p[n:]
 	}
-	return written, nil
 }
 
-// Close implements net.Conn: it ends the stream on both sides.
+// Close implements net.Conn: it ends the stream on both sides. The local
+// side is marked closed BEFORE the END cell is sent: under heavy inbound
+// backpressure the endpoint may be parked in push() on this stream's full
+// queue, and sending first would deadlock — END queues behind the flood,
+// the flood can't drain until push() sees s.closed.
 func (s *Stream) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
-		err = s.circ.sendForward(relayMsg{Cmd: relayEnd, Stream: s.id})
 		close(s.closed)
+		err = s.circ.sendForward(relayMsg{Cmd: relayEnd, Stream: s.id})
 		s.circ.removeStream(s.id)
 	})
 	return err
