@@ -8,6 +8,8 @@
 //	benchgen -markdown           # emit EXPERIMENTS.md-style markdown
 //	benchgen -twitter-scale 10   # larger Twitter stand-in (slower, tighter)
 //	benchgen -onion              # scrape forums through the onion network
+//	benchgen -bench              # measure data-path kernels, write BENCH_placement.json
+//	benchgen -bench -check       # also gate on the checked-in report (CI)
 package main
 
 import (
@@ -34,8 +36,22 @@ func run() int {
 		markdown     = flag.Bool("markdown", false, "emit markdown (EXPERIMENTS.md format)")
 		svgDir       = flag.String("svg", "", "also write each figure as an SVG file into this directory")
 		list         = flag.Bool("list", false, "list experiment IDs and exit")
+		bench        = flag.Bool("bench", false, "measure the tracked data-path kernels and write a JSON report")
+		benchOut     = flag.String("bench-out", "BENCH_placement.json", "where -bench writes its report")
+		benchBase    = flag.String("bench-baseline", "BENCH_placement.json", "committed report -check gates against")
+		check        = flag.Bool("check", false, "with -bench: fail if any workload is >2x slower than the committed report")
+		cpuProfile   = flag.String("cpuprofile", "", "with -bench: write a pprof CPU profile of the suite here")
+		memProfile   = flag.String("memprofile", "", "with -bench: write a pprof heap profile here")
 	)
 	flag.Parse()
+
+	if *bench {
+		baseline := ""
+		if *check {
+			baseline = *benchBase
+		}
+		return runBench(*twitterScale, *seed, *benchOut, baseline, *cpuProfile, *memProfile)
+	}
 
 	if *list {
 		for _, id := range experiments.AllIDs() {

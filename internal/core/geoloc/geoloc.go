@@ -105,10 +105,17 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 	if opts.Distance == 0 {
 		opts.Distance = DistanceCircularEMD
 	}
-	zones := profile.ZoneProfiles(generic)
 	users := profile.SortedUserIDs(profiles)
 	best := make([]int, len(users))
+	// The circular path never materializes the 24 zone profiles: one
+	// all-rotations kernel call against the generic profile yields every
+	// zone distance. The linear ablation keeps the explicit zone loop.
+	var zones []profile.Profile
+	if opts.Distance == DistanceLinearEMD {
+		zones = profile.ZoneProfiles(generic)
+	}
 	err := par.Ranges(opts.Context, opts.Parallelism, len(users), func(start, end int) error {
+		dists := make([]float64, tz.HoursPerDay)
 		scratch := make([]float64, 2*tz.HoursPerDay)
 		for i := start; i < end; i++ {
 			if opts.Context != nil && i&0xff == 0 {
@@ -116,7 +123,7 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 					return err
 				}
 			}
-			zi, err := nearestZoneIndex(profiles[users[i]], zones, opts.Distance, scratch)
+			zi, err := nearestZoneIndex(profiles[users[i]], generic, zones, opts.Distance, dists, scratch)
 			if err != nil {
 				return fmt.Errorf("geoloc: distance for user %q: %w", users[i], err)
 			}
@@ -144,24 +151,41 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 }
 
 // nearestZoneIndex returns the index of the zone profile with minimal
-// distance from p, breaking ties toward the lower index. scratch is the
-// worker-owned EMD workspace (2*HoursPerDay floats).
-func nearestZoneIndex(p profile.Profile, zones []profile.Profile, dist DistanceKind, scratch []float64) (int, error) {
-	best := -1
-	bestDist := 0.0
-	for zi := range zones {
-		var d float64
-		var err error
-		switch dist {
-		case DistanceLinearEMD:
-			d, err = stats.EMDLinear(p[:], zones[zi][:])
-		default:
-			d, err = stats.EMDCircularScratch(p[:], zones[zi][:], scratch)
+// distance from p, breaking ties toward the lower index. dists and scratch
+// are worker-owned workspaces (HoursPerDay and 2*HoursPerDay floats).
+//
+// The circular metric computes all 24 distances with one
+// EMDCircularAllRotations call on the generic profile. The zone-zi
+// reference is generic.Shift(-(zi+MinOffset)) — the rotation of generic by
+// r = (zi + MinOffset) mod 24 — so the kernel's out[r] is bit-identical to
+// EMDCircularScratch(p, zones[zi]), and the strict less-than argmin over
+// ascending zi reproduces the historical per-zone loop exactly, ties
+// included. zones is only consulted by the linear ablation metric.
+func nearestZoneIndex(p profile.Profile, generic profile.Profile, zones []profile.Profile, dist DistanceKind, dists, scratch []float64) (int, error) {
+	if dist == DistanceLinearEMD {
+		best := -1
+		bestDist := 0.0
+		for zi := range zones {
+			d, err := stats.EMDLinear(p[:], zones[zi][:])
+			if err != nil {
+				return 0, fmt.Errorf("zone %d: %w", zi, err)
+			}
+			if best == -1 || d < bestDist {
+				best = zi
+				bestDist = d
+			}
 		}
-		if err != nil {
-			return 0, fmt.Errorf("zone %d: %w", zi, err)
-		}
-		if best == -1 || d < bestDist {
+		return best, nil
+	}
+	rot, err := stats.EMDCircularAllRotations(p[:], generic[:], dists, scratch)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	bestDist := rot[(int(tz.MinOffset)+tz.HoursPerDay)%tz.HoursPerDay]
+	for zi := 1; zi < tz.HoursPerDay; zi++ {
+		d := rot[(zi+int(tz.MinOffset)+tz.HoursPerDay)%tz.HoursPerDay]
+		if d < bestDist {
 			best = zi
 			bestDist = d
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"darkcrowd/internal/par"
+	"darkcrowd/internal/stats"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
 )
@@ -118,7 +119,7 @@ func BuildGeneric(ds *trace.Dataset, opts GenericOptions) (*GenericResult, error
 			}
 			userProfiles, err := BuildUserProfiles(sub, BuildOptions{
 				MinPosts:    opts.MinPosts,
-				HourOf:      LocalHours(region),
+				Cells:       LocalCells(region),
 				Parallelism: opts.Parallelism,
 				Context:     opts.Context,
 			})
@@ -195,14 +196,20 @@ func Polish(profiles map[string]Profile, generic Profile, rebuild bool) (*Polish
 	res := &PolishResult{}
 	uniform := Uniform()
 
+	// One all-rotations kernel call per user replaces the former 24
+	// independent p.EMD(zone) calls; the distance, rotation, and workspace
+	// buffers are reused across every user and pass.
+	dists := make([]float64, tz.HoursPerDay)
+	rot := make([]float64, tz.HoursPerDay)
+	scratch := make([]float64, 2*tz.HoursPerDay)
+
 	const maxIterations = 10
 	for iter := 0; iter < maxIterations; iter++ {
 		res.Iterations = iter + 1
-		zones := ZoneProfiles(generic)
 		var removedThisPass []string
 		for _, id := range SortedUserIDs(kept) {
 			p := kept[id]
-			flat, err := isFlat(p, uniform, zones)
+			flat, err := isFlat(p, uniform, generic, dists, rot, scratch)
 			if err != nil {
 				return nil, fmt.Errorf("profile: polish user %q: %w", id, err)
 			}
@@ -223,14 +230,12 @@ func Polish(profiles map[string]Profile, generic Profile, rebuild bool) (*Polish
 		// Rebuild the generic profile from the kept users, aligning each
 		// user to its best zone so profiles from different zones stack.
 		var aligned []Profile
-		zones = ZoneProfiles(generic)
 		for _, id := range SortedUserIDs(kept) {
 			p := kept[id]
-			best, err := nearestZone(p, zones)
-			if err != nil {
+			if err := zoneDistances(p, generic, dists, rot, scratch); err != nil {
 				return nil, err
 			}
-			aligned = append(aligned, p.ToLocal(OffsetOf(best)))
+			aligned = append(aligned, p.ToLocal(OffsetOf(nearestZone(dists))))
 		}
 		g, err := Aggregate(aligned)
 		if err != nil {
@@ -242,18 +247,39 @@ func Polish(profiles map[string]Profile, generic Profile, rebuild bool) (*Polish
 	return res, nil
 }
 
+// zoneDistances fills dists[zi] with the circular EMD between p and the
+// zone-zi reference profile derived from generic, for all 24 zones, using
+// one EMDCircularAllRotations call. ZoneProfile(generic, off) is
+// generic.Shift(-off), i.e. the rotation q_r of generic with r = off mod
+// 24; with off = zi + tz.MinOffset the kernel's out[r] lands at
+// dists[zi] = out[(zi + MinOffset) mod 24]. Each value is bit-identical to
+// p.EMD(ZoneProfiles(generic)[zi]) — the kernel keeps EMDCircular's exact
+// accumulation order and Shift copies values without arithmetic.
+//
+// dists and rot must hold 24 floats, scratch 48; all three are reused
+// across calls.
+func zoneDistances(p, generic Profile, dists, rot, scratch []float64) error {
+	rot, err := stats.EMDCircularAllRotations(p[:], generic[:], rot, scratch)
+	if err != nil {
+		return err
+	}
+	for zi := 0; zi < tz.HoursPerDay; zi++ {
+		dists[zi] = rot[(zi+int(tz.MinOffset)+tz.HoursPerDay)%tz.HoursPerDay]
+	}
+	return nil
+}
+
 // isFlat reports whether p is EMD-closer to the uniform profile than to
-// every zone profile.
-func isFlat(p, uniform Profile, zones []Profile) (bool, error) {
-	dUniform, err := p.EMD(uniform)
+// every zone profile derived from generic.
+func isFlat(p, uniform, generic Profile, dists, rot, scratch []float64) (bool, error) {
+	dUniform, err := stats.EMDCircularScratch(p[:], uniform[:], scratch)
 	if err != nil {
 		return false, err
 	}
-	for _, z := range zones {
-		dz, err := p.EMD(z)
-		if err != nil {
-			return false, err
-		}
+	if err := zoneDistances(p, generic, dists, rot, scratch); err != nil {
+		return false, err
+	}
+	for _, dz := range dists {
 		if dz <= dUniform {
 			return false, nil
 		}
@@ -261,20 +287,15 @@ func isFlat(p, uniform Profile, zones []Profile) (bool, error) {
 	return true, nil
 }
 
-// nearestZone returns the zone index whose reference profile has minimal
-// EMD from p, breaking ties toward the lower index.
-func nearestZone(p Profile, zones []Profile) (int, error) {
-	best := -1
-	bestDist := 0.0
-	for i, z := range zones {
-		d, err := p.EMD(z)
-		if err != nil {
-			return 0, err
-		}
-		if best == -1 || d < bestDist {
-			best = i
-			bestDist = d
+// nearestZone returns the zone index with minimal distance, breaking ties
+// toward the lower index (strict less-than scan, matching the historical
+// per-zone loop).
+func nearestZone(dists []float64) int {
+	best := 0
+	for zi := 1; zi < len(dists); zi++ {
+		if dists[zi] < dists[best] {
+			best = zi
 		}
 	}
-	return best, nil
+	return best
 }

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -168,14 +169,36 @@ func (p Profile) Entropy() (float64, error) {
 	return stats.Entropy(p[:])
 }
 
-// HourOf selects which civil frame posts are bucketed in.
-type HourOf func(time.Time) (hour int, day string)
+// HourOf selects which civil frame posts are bucketed in: it returns the
+// hour bin 0..23 and an integer day key (days since the Unix epoch on that
+// frame's calendar) that together identify the post's (day, hour) activity
+// cell. Integer day keys replace the old "2006-01-02" strings: the mapping
+// between calendar days and epoch-day numbers is a bijection, so cell
+// identity — the only thing FromPosts uses the key for — is unchanged,
+// while the hot loop sheds time.Format and fmt.Sprintf entirely.
+type HourOf func(t time.Time) (hour int, epochDay int64)
+
+// CellOf is the columnar counterpart of HourOf: it buckets a post given
+// only its Unix-seconds timestamp, exactly as stored in the trace index's
+// time column, so profile building never materializes a time.Time.
+type CellOf func(unixSec int64) (hour int, epochDay int64)
+
+// cellOfUnix maps Unix seconds to (UTC hour, UTC epoch day) with floor
+// division, so pre-1970 instants land on the correct calendar day.
+func cellOfUnix(u int64) (int, int64) {
+	day := u / 86400
+	rem := u % 86400
+	if rem < 0 {
+		day--
+		rem += 86400
+	}
+	return int(rem / 3600), day
+}
 
 // UTCHours buckets posts by UTC hour; day keys follow the UTC calendar.
 func UTCHours() HourOf {
-	return func(t time.Time) (int, string) {
-		u := t.UTC()
-		return u.Hour(), u.Format("2006-01-02")
+	return func(t time.Time) (int, int64) {
+		return cellOfUnix(t.Unix())
 	}
 }
 
@@ -183,10 +206,55 @@ func UTCHours() HourOf {
 // follow the local calendar. This implements the paper's "we have
 // considered daylight saving time for all regions where it is used".
 func LocalHours(region tz.Region) HourOf {
-	return func(t time.Time) (int, string) {
-		local := region.LocalTime(t)
-		return local.Hour(), local.Format("2006-01-02")
+	return func(t time.Time) (int, int64) {
+		// Offsets are whole hours (tz.Offset), so the local civil hour and
+		// day fall out of integer arithmetic on the shifted epoch seconds —
+		// identical to region.LocalTime(t).Hour() / its calendar day.
+		return cellOfUnix(t.Unix() + int64(region.OffsetAt(t))*3600)
 	}
+}
+
+// UTCCells is the CellOf equivalent of UTCHours.
+func UTCCells() CellOf { return cellOfUnix }
+
+// LocalCells is the CellOf equivalent of LocalHours. DST boundaries sit on
+// whole-hour instants, so evaluating the offset at the floor-to-second
+// time.Unix(u, 0) agrees with evaluating it at the original post time.
+func LocalCells(region tz.Region) CellOf {
+	return func(u int64) (int, int64) {
+		off := region.OffsetAt(time.Unix(u, 0).UTC())
+		return cellOfUnix(u + int64(off)*3600)
+	}
+}
+
+// cellKey packs a (day, hour) activity cell into one int64.
+func cellKey(hour int, epochDay int64) int64 {
+	return epochDay*HoursPerDay + int64(hour)
+}
+
+// fromCellKeys builds the Eq. 1 profile from packed cell keys, counting
+// each distinct cell once. It sorts keys in place (the caller's slice is
+// scratch) and allocates nothing — duplicate detection is a comparison with
+// the previous sorted key, not a map insert.
+func fromCellKeys(keys []int64) (Profile, error) {
+	if len(keys) == 0 {
+		return Profile{}, ErrNoActivity
+	}
+	slices.Sort(keys)
+	var counts [HoursPerDay]float64
+	var total float64
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
+			continue
+		}
+		counts[((k%HoursPerDay)+HoursPerDay)%HoursPerDay]++
+		total++
+	}
+	var p Profile
+	for h := range counts {
+		p[h] = counts[h] / total
+	}
+	return p, nil
 }
 
 // FromPosts builds the Eq. 1 user profile from a post list using the given
@@ -202,27 +270,11 @@ func FromPosts(posts []trace.Post, hourOf HourOf) (Profile, error) {
 	if hourOf == nil {
 		hourOf = UTCHours()
 	}
-	seen := make(map[string]bool)
-	var counts [HoursPerDay]float64
-	var total float64
+	keys := make([]int64, 0, len(posts))
 	for _, post := range posts {
-		h, day := hourOf(post.Time)
-		key := fmt.Sprintf("%s#%02d", day, h)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		counts[h]++
-		total++
+		keys = append(keys, cellKey(hourOf(post.Time)))
 	}
-	if total == 0 {
-		return Profile{}, ErrNoActivity
-	}
-	var p Profile
-	for h := range counts {
-		p[h] = counts[h] / total
-	}
-	return p, nil
+	return fromCellKeys(keys)
 }
 
 // Aggregate builds the Eq. 2 population profile from user profiles:
@@ -257,8 +309,14 @@ type BuildOptions struct {
 	// MinPosts is the active-user threshold; users with fewer posts are
 	// dropped. Defaults to DefaultMinPosts (30).
 	MinPosts int
-	// HourOf selects the bucketing frame. Defaults to UTCHours().
+	// HourOf selects the bucketing frame for the row-oriented path. Leave
+	// nil (the default) to take the columnar fast path; setting it forces
+	// per-post time.Time bucketing via ds.ByUser.
 	HourOf HourOf
+	// Cells selects the bucketing frame for the columnar fast path, which
+	// feeds epoch seconds straight from the trace index into the cell
+	// function. Defaults to UTCCells(). Ignored when HourOf is set.
+	Cells CellOf
 	// Parallelism is the number of workers building per-user profiles:
 	// 0 uses every core (GOMAXPROCS), 1 forces the sequential path. Each
 	// user's profile depends only on that user's posts, so the output map
@@ -268,23 +326,77 @@ type BuildOptions struct {
 	Context context.Context
 }
 
-func (o BuildOptions) withDefaults() BuildOptions {
-	if o.MinPosts == 0 {
-		o.MinPosts = DefaultMinPosts
-	}
-	if o.HourOf == nil {
-		o.HourOf = UTCHours()
-	}
-	return o
-}
-
 // BuildUserProfiles builds one profile per active user of the dataset.
 // Users below the post threshold are silently dropped ("we have also
 // filtered out non active users", §IV); an error is returned only if no
 // user survives. The per-user builds run on opts.Parallelism workers, each
 // writing its own slots of an index-addressed result slice.
+//
+// With a nil opts.HourOf the build runs on the dataset's columnar index:
+// each worker streams a user's epoch seconds into a reused key buffer and
+// dedups cells by sorting, allocating nothing per user. The result is
+// bit-identical to the row path (integer cell counts divide the same way
+// regardless of visit order).
 func BuildUserProfiles(ds *trace.Dataset, opts BuildOptions) (map[string]Profile, error) {
-	opts = opts.withDefaults()
+	if opts.MinPosts == 0 {
+		opts.MinPosts = DefaultMinPosts
+	}
+	if opts.HourOf != nil {
+		return buildUserProfilesRows(ds, opts)
+	}
+	cells := opts.Cells
+	if cells == nil {
+		cells = UTCCells()
+	}
+	s := ds.Index()
+	active := make([]int, 0, s.NumUsers())
+	for u := 0; u < s.NumUsers(); u++ {
+		if s.Count(u) >= opts.MinPosts {
+			active = append(active, u)
+		}
+	}
+	built := make([]Profile, len(active))
+	ok := make([]bool, len(active))
+	err := par.Ranges(opts.Context, opts.Parallelism, len(active), func(start, end int) error {
+		var times, keys []int64 // per-worker scratch, reused across users
+		for i := start; i < end; i++ {
+			if opts.Context != nil && i&0xff == 0 {
+				if err := opts.Context.Err(); err != nil {
+					return err
+				}
+			}
+			times = s.AppendUserTimes(times[:0], active[i])
+			keys = keys[:0]
+			for _, sec := range times {
+				keys = append(keys, cellKey(cells(sec)))
+			}
+			p, err := fromCellKeys(keys)
+			if err != nil {
+				continue // no usable activity cells
+			}
+			built[i], ok[i] = p, true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Profile, len(active))
+	for i, u := range active {
+		if ok[i] {
+			out[s.UserID(u)] = built[i]
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w (threshold %d)", ErrNoActivity, opts.MinPosts)
+	}
+	return out, nil
+}
+
+// buildUserProfilesRows is the row-oriented build used when a custom HourOf
+// is set: per-user []trace.Post groups through FromPosts. Active users are
+// visited in sorted-ID order, matching the columnar path.
+func buildUserProfilesRows(ds *trace.Dataset, opts BuildOptions) (map[string]Profile, error) {
 	byUser := ds.ByUser()
 	active := make([]string, 0, len(byUser))
 	for userID, posts := range byUser {

@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // The Earth Mover's Distance (EMD, Wasserstein-1) between one-dimensional
@@ -77,6 +76,65 @@ func EMDCircularScratch(p, q, scratch []float64) (float64, error) {
 	return total, nil
 }
 
+// EMDCircularAllRotations computes the circular EMD between p and every
+// rotation of q in one call: out[r] holds the distance between p and the
+// histogram q_r with q_r[i] = q[(i+r) mod n], for r = 0..n-1. It returns
+// out (grown if nil or short).
+//
+// This is the placement kernel: nearest-zone assignment compares one user
+// profile against all 24 rotations of the generic profile, and calling
+// EMDCircular 24 times re-validates both inputs and re-allocates workspace
+// on every rotation. Here the inputs are validated once per call, the
+// diff/median workspace (2n floats of scratch, caller-reusable) is shared
+// across rotations, and the median uses the O(n) selection of
+// medianScratch instead of a full sort.
+//
+// Each rotation's cumulative-difference pass still runs the exact
+// accumulation order of EMDCircular (cum += p[i] - q_r[i], left to right).
+// A shared-prefix-sum formulation (F(i) - S(i+r) + S(r)) would reuse one
+// cumulative pass across all rotations but rounds differently in floating
+// point; keeping the per-rotation accumulation makes every out[r]
+// bit-identical to EMDCircular(p, q_r), which the equivalence property
+// tests and the end-to-end golden fixture pin down.
+func EMDCircularAllRotations(p, q, out, scratch []float64) ([]float64, error) {
+	if err := checkEMDInputs(p, q); err != nil {
+		return nil, err
+	}
+	n := len(p)
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	if cap(scratch) < 2*n {
+		scratch = make([]float64, 2*n)
+	}
+	diffs, tmp := scratch[:n], scratch[n:2*n]
+	for r := 0; r < n; r++ {
+		// The wrapped index q[(i+r) mod n] is unrolled into two straight
+		// ranges (q[r:], then q[:r]); the accumulation order over i is
+		// unchanged, so the rounding matches the modular loop exactly.
+		var cum float64
+		i := 0
+		for _, qv := range q[r:] {
+			cum += p[i] - qv
+			diffs[i] = cum
+			i++
+		}
+		for _, qv := range q[:r] {
+			cum += p[i] - qv
+			diffs[i] = cum
+			i++
+		}
+		mu := medianScratch(diffs, tmp)
+		var total float64
+		for _, d := range diffs {
+			total += math.Abs(d - mu)
+		}
+		out[r] = total
+	}
+	return out, nil
+}
+
 func checkEMDInputs(p, q []float64) error {
 	if len(p) != len(q) {
 		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(p), len(q))
@@ -102,22 +160,101 @@ func checkEMDInputs(p, q []float64) error {
 	return nil
 }
 
-func median(xs []float64) float64 {
-	return medianScratch(xs, make([]float64, len(xs)))
-}
-
-// medianScratch computes the median without touching xs, sorting a copy
-// held in tmp (which must have at least len(xs) capacity).
+// medianScratch computes the median without touching xs, working on a copy
+// held in tmp (which must have at least len(xs) capacity). Profile-sized
+// inputs (n <= 32 — EMD on 24-hour histograms always hits this) use an
+// insertion sort, which beats quickselect here because EMD feeds it
+// cumulative-difference sequences that arrive nearly sorted; larger inputs
+// use an O(n) quickselect. Both return the same order statistics as a full
+// sort, so the value matches the previous sort.Float64s implementation
+// exactly.
 func medianScratch(xs, tmp []float64) float64 {
-	tmp = tmp[:len(xs)]
-	copy(tmp, xs)
-	sort.Float64s(tmp)
-	n := len(tmp)
+	n := len(xs)
 	if n == 0 {
 		return 0
 	}
-	if n%2 == 1 {
-		return tmp[n/2]
+	tmp = tmp[:n]
+	copy(tmp, xs)
+	if n == 24 {
+		// The EMD kernels always land here (24-hour histograms); the
+		// branchless comparator network sidesteps the data-dependent
+		// mispredictions that make insertion sort slow on them.
+		return medianNet24(tmp)
 	}
-	return (tmp[n/2-1] + tmp[n/2]) / 2
+	if n <= 32 {
+		insertionSort(tmp)
+		if n%2 == 1 {
+			return tmp[n/2]
+		}
+		return (tmp[n/2-1] + tmp[n/2]) / 2
+	}
+	hi := selectKth(tmp, n/2)
+	if n%2 == 1 {
+		return hi
+	}
+	// After selectKth, tmp[:n/2] holds the n/2 smallest values, so the
+	// lower middle element is their maximum.
+	lo := tmp[0]
+	for _, v := range tmp[1 : n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// selectKth partially orders xs in place so that xs[k] is the k-th smallest
+// element (0-based), every element of xs[:k] is <= xs[k], and every element
+// of xs[k+1:] is >= xs[k]. Hoare partitioning with a median-of-three pivot;
+// expected O(n), no allocation, deterministic.
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted-input quadratics.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
 }

@@ -2,6 +2,8 @@ package stats
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -232,6 +234,9 @@ func TestEMDShiftCost(t *testing.T) {
 
 func TestMedian(t *testing.T) {
 	t.Parallel()
+	med := func(xs []float64) float64 {
+		return medianScratch(xs, make([]float64, len(xs)))
+	}
 	tests := []struct {
 		in   []float64
 		want float64
@@ -243,15 +248,137 @@ func TestMedian(t *testing.T) {
 		{[]float64{4, 1, 3, 2}, 2.5},
 	}
 	for _, tt := range tests {
-		if got := median(tt.in); !almostEqual(got, tt.want, 1e-12) {
+		if got := med(tt.in); !almostEqual(got, tt.want, 1e-12) {
 			t.Errorf("median(%v) = %g, want %g", tt.in, got, tt.want)
 		}
 	}
-	// median must not mutate its input.
+	// medianScratch must not mutate its input.
 	in := []float64{3, 1, 2}
-	median(in)
+	med(in)
 	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
-		t.Error("median mutated its input")
+		t.Error("medianScratch mutated its input")
+	}
+}
+
+// TestMedianSelectionMatchesSort cross-checks the insertion-sort and
+// quickselect median paths against a reference full sort, over sizes on
+// both sides of the n=32 switchover, with duplicates and adversarial
+// (sorted / reversed) inputs.
+func TestMedianSelectionMatchesSort(t *testing.T) {
+	t.Parallel()
+	ref := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		n := len(s)
+		if n == 0 {
+			return 0
+		}
+		if n%2 == 1 {
+			return s[n/2]
+		}
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 3, 5, 24, 31, 32, 33, 64, 101, 500} {
+		for trial := 0; trial < 20; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				switch trial % 4 {
+				case 0:
+					xs[i] = rng.NormFloat64()
+				case 1:
+					xs[i] = float64(rng.Intn(5)) // heavy duplicates
+				case 2:
+					xs[i] = float64(i) // sorted
+				default:
+					xs[i] = float64(n - i) // reversed
+				}
+			}
+			want := ref(xs)
+			got := medianScratch(xs, make([]float64, n))
+			if got != want {
+				t.Fatalf("n=%d trial=%d: medianScratch = %g, sort median = %g", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestEMDCircularAllRotationsEquivalence is the kernel's bit-identity
+// property: every out[r] must equal EMDCircular(p, q rotated by r) exactly,
+// across random histogram pairs and sizes (including the 24-bin profile
+// size the placement path uses).
+func TestEMDCircularAllRotationsEquivalence(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2018))
+	for _, n := range []int{1, 2, 3, 8, 24} {
+		out := make([]float64, n)
+		scratch := make([]float64, 2*n)
+		for trial := 0; trial < 50; trial++ {
+			p := make([]float64, n)
+			q := make([]float64, n)
+			for i := 0; i < n; i++ {
+				p[i] = rng.Float64()
+				q[i] = rng.Float64()
+			}
+			pn, err := Normalize(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qn, err := Normalize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EMDCircularAllRotations(pn, qn, out, scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				qr := Rotate(qn, r) // Rotate(r)[i] = q[(i+r) mod n] = q_r[i]
+				want, err := EMDCircular(pn, qr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[r] != want {
+					t.Fatalf("n=%d trial=%d rotation=%d: kernel = %v (bits %x), EMDCircular = %v (bits %x)",
+						n, trial, r, got[r], math.Float64bits(got[r]), want, math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+func TestEMDCircularAllRotationsErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := EMDCircularAllRotations([]float64{1}, []float64{0.5, 0.5}, nil, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := EMDCircularAllRotations(nil, nil, nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := EMDCircularAllRotations([]float64{1, 0}, []float64{0.2, 0.2}, nil, nil); err == nil {
+		t.Error("unequal mass should fail")
+	}
+}
+
+// TestEMDCircularAllRotationsNoAlloc verifies the kernel is allocation-free
+// once the caller owns out and scratch.
+func TestEMDCircularAllRotationsNoAlloc(t *testing.T) {
+	p := make([]float64, 24)
+	q := make([]float64, 24)
+	for i := range p {
+		p[i] = 1.0 / 24
+		q[i] = 1.0 / 24
+	}
+	p[3], p[4] = p[3]+0.01, p[4]-0.01
+	out := make([]float64, 24)
+	scratch := make([]float64, 48)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := EMDCircularAllRotations(p, q, out, scratch); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EMDCircularAllRotations allocates %v times per call, want 0", allocs)
 	}
 }
 

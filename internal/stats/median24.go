@@ -1,0 +1,154 @@
+package stats
+
+// medianNet24 returns the median of the 24 values in x, overwriting x in the
+// process. It runs a fixed comparator network — Batcher's odd-even mergesort
+// on 32 wires, pruned to 24 real wires and then backward-pruned to the 108
+// compare-exchanges that can influence output positions 11 and 12 — and
+// averages the two middle order statistics, exactly like a full sort
+// followed by (tmp[11]+tmp[12])/2.
+//
+// Correctness is exhaustively verified by the 0-1 principle: a comparator
+// network places the correct order statistic on a wire for every real input
+// iff it does so for all 2^n boolean inputs, and this network has been
+// checked on all 2^24 of them (see TestMedianNet24 for an in-repo spot
+// check). The point of the network over insertionSort is that every
+// compare-exchange compiles to branchless float min/max, so the cost is
+// data-independent: the EMD placement kernel feeds this function
+// cumulative-difference sequences whose ordering varies wildly between
+// rotations, and data-dependent branches there are mispredicted often
+// enough to dominate the whole placement run.
+//
+// min/max builtins propagate NaN, so a NaN anywhere in x yields a NaN
+// median rather than a silently wrong one; EMD inputs are validated
+// NaN-free before this is reached.
+func medianNet24(s []float64) float64 {
+	x := (*[24]float64)(s)
+
+	x[0], x[1] = min(x[0], x[1]), max(x[0], x[1])
+	x[2], x[3] = min(x[2], x[3]), max(x[2], x[3])
+	x[0], x[2] = min(x[0], x[2]), max(x[0], x[2])
+	x[1], x[3] = min(x[1], x[3]), max(x[1], x[3])
+	x[1], x[2] = min(x[1], x[2]), max(x[1], x[2])
+	x[4], x[5] = min(x[4], x[5]), max(x[4], x[5])
+
+	x[6], x[7] = min(x[6], x[7]), max(x[6], x[7])
+	x[4], x[6] = min(x[4], x[6]), max(x[4], x[6])
+	x[5], x[7] = min(x[5], x[7]), max(x[5], x[7])
+	x[5], x[6] = min(x[5], x[6]), max(x[5], x[6])
+	x[0], x[4] = min(x[0], x[4]), max(x[0], x[4])
+	x[2], x[6] = min(x[2], x[6]), max(x[2], x[6])
+
+	x[2], x[4] = min(x[2], x[4]), max(x[2], x[4])
+	x[1], x[5] = min(x[1], x[5]), max(x[1], x[5])
+	x[3], x[7] = min(x[3], x[7]), max(x[3], x[7])
+	x[3], x[5] = min(x[3], x[5]), max(x[3], x[5])
+	x[1], x[2] = min(x[1], x[2]), max(x[1], x[2])
+	x[3], x[4] = min(x[3], x[4]), max(x[3], x[4])
+
+	x[5], x[6] = min(x[5], x[6]), max(x[5], x[6])
+	x[8], x[9] = min(x[8], x[9]), max(x[8], x[9])
+	x[10], x[11] = min(x[10], x[11]), max(x[10], x[11])
+	x[8], x[10] = min(x[8], x[10]), max(x[8], x[10])
+	x[9], x[11] = min(x[9], x[11]), max(x[9], x[11])
+	x[9], x[10] = min(x[9], x[10]), max(x[9], x[10])
+
+	x[12], x[13] = min(x[12], x[13]), max(x[12], x[13])
+	x[14], x[15] = min(x[14], x[15]), max(x[14], x[15])
+	x[12], x[14] = min(x[12], x[14]), max(x[12], x[14])
+	x[13], x[15] = min(x[13], x[15]), max(x[13], x[15])
+	x[13], x[14] = min(x[13], x[14]), max(x[13], x[14])
+	x[8], x[12] = min(x[8], x[12]), max(x[8], x[12])
+
+	x[10], x[14] = min(x[10], x[14]), max(x[10], x[14])
+	x[10], x[12] = min(x[10], x[12]), max(x[10], x[12])
+	x[9], x[13] = min(x[9], x[13]), max(x[9], x[13])
+	x[11], x[15] = min(x[11], x[15]), max(x[11], x[15])
+	x[11], x[13] = min(x[11], x[13]), max(x[11], x[13])
+	x[9], x[10] = min(x[9], x[10]), max(x[9], x[10])
+
+	x[11], x[12] = min(x[11], x[12]), max(x[11], x[12])
+	x[13], x[14] = min(x[13], x[14]), max(x[13], x[14])
+	x[0], x[8] = min(x[0], x[8]), max(x[0], x[8])
+	x[4], x[12] = min(x[4], x[12]), max(x[4], x[12])
+	x[4], x[8] = min(x[4], x[8]), max(x[4], x[8])
+	x[2], x[10] = min(x[2], x[10]), max(x[2], x[10])
+
+	x[6], x[14] = min(x[6], x[14]), max(x[6], x[14])
+	x[6], x[10] = min(x[6], x[10]), max(x[6], x[10])
+	x[2], x[4] = min(x[2], x[4]), max(x[2], x[4])
+	x[6], x[8] = min(x[6], x[8]), max(x[6], x[8])
+	x[10], x[12] = min(x[10], x[12]), max(x[10], x[12])
+	x[1], x[9] = min(x[1], x[9]), max(x[1], x[9])
+
+	x[5], x[13] = min(x[5], x[13]), max(x[5], x[13])
+	x[5], x[9] = min(x[5], x[9]), max(x[5], x[9])
+	x[3], x[11] = min(x[3], x[11]), max(x[3], x[11])
+	x[7], x[15] = min(x[7], x[15]), max(x[7], x[15])
+	x[7], x[11] = min(x[7], x[11]), max(x[7], x[11])
+	x[3], x[5] = min(x[3], x[5]), max(x[3], x[5])
+
+	x[7], x[9] = min(x[7], x[9]), max(x[7], x[9])
+	x[11], x[13] = min(x[11], x[13]), max(x[11], x[13])
+	x[1], x[2] = min(x[1], x[2]), max(x[1], x[2])
+	x[3], x[4] = min(x[3], x[4]), max(x[3], x[4])
+	x[5], x[6] = min(x[5], x[6]), max(x[5], x[6])
+	x[7], x[8] = min(x[7], x[8]), max(x[7], x[8])
+
+	x[9], x[10] = min(x[9], x[10]), max(x[9], x[10])
+	x[11], x[12] = min(x[11], x[12]), max(x[11], x[12])
+	x[13], x[14] = min(x[13], x[14]), max(x[13], x[14])
+	x[16], x[17] = min(x[16], x[17]), max(x[16], x[17])
+	x[18], x[19] = min(x[18], x[19]), max(x[18], x[19])
+	x[16], x[18] = min(x[16], x[18]), max(x[16], x[18])
+
+	x[17], x[19] = min(x[17], x[19]), max(x[17], x[19])
+	x[17], x[18] = min(x[17], x[18]), max(x[17], x[18])
+	x[20], x[21] = min(x[20], x[21]), max(x[20], x[21])
+	x[22], x[23] = min(x[22], x[23]), max(x[22], x[23])
+	x[20], x[22] = min(x[20], x[22]), max(x[20], x[22])
+	x[21], x[23] = min(x[21], x[23]), max(x[21], x[23])
+
+	x[21], x[22] = min(x[21], x[22]), max(x[21], x[22])
+	x[16], x[20] = min(x[16], x[20]), max(x[16], x[20])
+	x[18], x[22] = min(x[18], x[22]), max(x[18], x[22])
+	x[18], x[20] = min(x[18], x[20]), max(x[18], x[20])
+	x[17], x[21] = min(x[17], x[21]), max(x[17], x[21])
+	x[19], x[23] = min(x[19], x[23]), max(x[19], x[23])
+
+	x[19], x[21] = min(x[19], x[21]), max(x[19], x[21])
+	x[17], x[18] = min(x[17], x[18]), max(x[17], x[18])
+	x[19], x[20] = min(x[19], x[20]), max(x[19], x[20])
+	x[21], x[22] = min(x[21], x[22]), max(x[21], x[22])
+	x[18], x[20] = min(x[18], x[20]), max(x[18], x[20])
+	x[19], x[21] = min(x[19], x[21]), max(x[19], x[21])
+
+	x[17], x[18] = min(x[17], x[18]), max(x[17], x[18])
+	x[19], x[20] = min(x[19], x[20]), max(x[19], x[20])
+	x[21], x[22] = min(x[21], x[22]), max(x[21], x[22])
+	x[0], x[16] = min(x[0], x[16]), max(x[0], x[16])
+	x[8], x[16] = min(x[8], x[16]), max(x[8], x[16])
+	x[4], x[20] = min(x[4], x[20]), max(x[4], x[20])
+
+	x[12], x[20] = min(x[12], x[20]), max(x[12], x[20])
+	x[12], x[16] = min(x[12], x[16]), max(x[12], x[16])
+	x[2], x[18] = min(x[2], x[18]), max(x[2], x[18])
+	x[10], x[18] = min(x[10], x[18]), max(x[10], x[18])
+	x[6], x[22] = min(x[6], x[22]), max(x[6], x[22])
+	x[6], x[10] = min(x[6], x[10]), max(x[6], x[10])
+
+	x[10], x[12] = min(x[10], x[12]), max(x[10], x[12])
+	x[1], x[17] = min(x[1], x[17]), max(x[1], x[17])
+	x[9], x[17] = min(x[9], x[17]), max(x[9], x[17])
+	x[5], x[21] = min(x[5], x[21]), max(x[5], x[21])
+	x[13], x[21] = min(x[13], x[21]), max(x[13], x[21])
+	x[13], x[17] = min(x[13], x[17]), max(x[13], x[17])
+
+	x[3], x[19] = min(x[3], x[19]), max(x[3], x[19])
+	x[11], x[19] = min(x[11], x[19]), max(x[11], x[19])
+	x[7], x[23] = min(x[7], x[23]), max(x[7], x[23])
+	x[7], x[11] = min(x[7], x[11]), max(x[7], x[11])
+	x[11], x[13] = min(x[11], x[13]), max(x[11], x[13])
+	x[11], x[12] = min(x[11], x[12]), max(x[11], x[12])
+
+	return (x[11] + x[12]) / 2
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMedianNet24 pins the comparator network to the sort-based median on
+// adversarial 24-element inputs: random values, heavy ties, signed zeros,
+// sorted and reverse-sorted runs, and random-walk shapes like the EMD
+// cumulative differences that feed it in production.
+func TestMedianNet24(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(24))
+	ref := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return (s[11] + s[12]) / 2
+	}
+	check := func(xs []float64) {
+		t.Helper()
+		want := ref(xs)
+		got := medianNet24(append([]float64(nil), xs...))
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("medianNet24(%v) = %v, want %v", xs, got, want)
+		}
+	}
+	xs := make([]float64, 24)
+	for trial := 0; trial < 20000; trial++ {
+		switch trial % 5 {
+		case 0: // uniform random
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+		case 1: // heavy ties from a tiny alphabet, including -0
+			vals := []float64{-1, math.Copysign(0, -1), 0, 0.5, 2}
+			for i := range xs {
+				xs[i] = vals[rng.Intn(len(vals))]
+			}
+		case 2: // sorted ascending with duplicates
+			v := rng.Float64()
+			for i := range xs {
+				xs[i] = v
+				if rng.Intn(3) > 0 {
+					v += rng.Float64()
+				}
+			}
+		case 3: // reverse sorted
+			v := rng.Float64()
+			for i := range xs {
+				xs[i] = v
+				v -= rng.Float64()
+			}
+		case 4: // random walk, the production shape
+			v := 0.0
+			for i := range xs {
+				v += rng.NormFloat64() * 0.1
+				xs[i] = v
+			}
+		}
+		check(xs)
+	}
+}
+
+func BenchmarkMedianNet24(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 24)
+	tmp := make([]float64, 24)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(tmp, xs)
+		_ = medianNet24(tmp)
+	}
+}

@@ -125,7 +125,21 @@ func GenerateCrowd(seed int64, cfg CrowdConfig) (*trace.Dataset, error) {
 		return nil, fmt.Errorf("synth: window end %v not after start %v", cfg.End, cfg.Start)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	ds := &trace.Dataset{Name: cfg.Name, GroundTruth: make(map[string]string)}
+	// Emit straight into a columnar builder: user IDs are interned once per
+	// user and each post is two integer appends, instead of growing a
+	// []trace.Post of (string, time.Time) rows post by post.
+	hint := 0
+	for _, g := range cfg.Groups {
+		ppu := g.PostsPerUser
+		if ppu == 0 {
+			ppu = 80
+		}
+		if g.Users > 0 {
+			hint += int(float64(g.Users) * ppu)
+		}
+	}
+	b := trace.NewBuilder(hint)
+	gt := make(map[string]string)
 	for gi, g := range cfg.Groups {
 		if g.Users <= 0 {
 			return nil, fmt.Errorf("synth: group %d has %d users", gi, g.Users)
@@ -144,19 +158,21 @@ func GenerateCrowd(seed int64, cfg CrowdConfig) (*trace.Dataset, error) {
 		}
 		for ui := 0; ui < g.Users; ui++ {
 			userID := fmt.Sprintf("%s-%04d", g.IDPrefix, ui)
-			posts := generateUser(rng, userID, g, cfg)
-			ds.Posts = append(ds.Posts, posts...)
-			ds.GroundTruth[userID] = g.Label
+			generateUser(rng, b, b.User(userID), g, cfg)
+			gt[userID] = g.Label
 		}
 	}
-	ds.SortByTime()
+	ds := b.Dataset(cfg.Name, true)
+	ds.GroundTruth = gt
 	return ds, nil
 }
 
 // generateUser walks the window hour by hour in UTC, activating (day, hour)
 // cells with probability proportional to the user's rhythm evaluated at the
-// DST-aware local hour, and emits 1..3 posts per active cell.
-func generateUser(rng *rand.Rand, userID string, g Group, cfg CrowdConfig) []trace.Post {
+// DST-aware local hour, and emits 1..3 posts per active cell into the
+// builder. Post instants are whole seconds, so the epoch-seconds column
+// loses nothing.
+func generateUser(rng *rand.Rand, b *trace.Builder, user int32, g Group, cfg CrowdConfig) {
 	rhythm := userRhythm(rng, g.Kind, cfg)
 	if g.DeliberateShift != 0 {
 		rhythm = rhythm.Shifted(g.DeliberateShift)
@@ -177,7 +193,6 @@ func generateUser(rng *rand.Rand, userID string, g Group, cfg CrowdConfig) []tra
 		weekendRhythm = rhythm.Shifted(1).Scale(1.15)
 	}
 
-	var posts []trace.Post
 	for t := cfg.Start; t.Before(cfg.End); t = t.Add(time.Hour) {
 		local := g.Region.LocalTime(t)
 		localHour := local.Hour()
@@ -196,14 +211,11 @@ func generateUser(rng *rand.Rand, userID string, g Group, cfg CrowdConfig) []tra
 		for n < 3 && rng.Float64() < 0.25 {
 			n++
 		}
+		hourStart := t.Unix()
 		for i := 0; i < n; i++ {
-			posts = append(posts, trace.Post{
-				UserID: userID,
-				Time:   t.Add(time.Duration(rng.Intn(3600)) * time.Second),
-			})
+			b.Add(user, hourStart+int64(rng.Intn(3600)))
 		}
 	}
-	return posts
 }
 
 // userRhythm derives a personal rhythm from the base curve: kind template,

@@ -11,6 +11,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -18,7 +19,10 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Post is a single activity event: a user posted at an instant, normalized
@@ -35,53 +39,69 @@ type Dataset struct {
 	Name        string            `json:"name"`
 	Posts       []Post            `json:"posts"`
 	GroundTruth map[string]string `json:"ground_truth,omitempty"`
+
+	// idx is the lazily built columnar index (see Index in columnar.go).
+	idx *Store
+}
+
+// copyGroundTruth returns a deep copy of a ground-truth map (nil for nil).
+// Derived datasets must never alias the source's map: a caller mutating the
+// filtered copy would silently corrupt the original.
+func copyGroundTruth(gt map[string]string) map[string]string {
+	if gt == nil {
+		return nil
+	}
+	out := make(map[string]string, len(gt))
+	for k, v := range gt {
+		out[k] = v
+	}
+	return out
 }
 
 // Clone returns a deep copy of the dataset.
 func (d *Dataset) Clone() *Dataset {
 	out := &Dataset{Name: d.Name, Posts: make([]Post, len(d.Posts))}
 	copy(out.Posts, d.Posts)
-	if d.GroundTruth != nil {
-		out.GroundTruth = make(map[string]string, len(d.GroundTruth))
-		for k, v := range d.GroundTruth {
-			out.GroundTruth[k] = v
-		}
-	}
+	out.GroundTruth = copyGroundTruth(d.GroundTruth)
 	return out
 }
 
 // NumPosts returns the number of posts.
 func (d *Dataset) NumPosts() int { return len(d.Posts) }
 
-// Users returns the distinct user IDs, sorted.
+// Users returns the distinct user IDs, sorted — a copy of the columnar
+// index's interned dictionary.
 func (d *Dataset) Users() []string {
-	seen := make(map[string]bool)
-	for _, p := range d.Posts {
-		seen[p.UserID] = true
-	}
-	out := make([]string, 0, len(seen))
-	for u := range seen {
-		out = append(out, u)
-	}
-	sort.Strings(out)
+	s := d.Index()
+	out := make([]string, len(s.ids))
+	copy(out, s.ids)
 	return out
 }
 
 // ByUser groups posts by user ID. Post order within a user follows the
-// dataset order.
+// dataset order. The groups are views carved out of one shared backing
+// array (capped, so appending to one group cannot clobber a neighbour).
 func (d *Dataset) ByUser() map[string][]Post {
-	out := make(map[string][]Post)
-	for _, p := range d.Posts {
-		out[p.UserID] = append(out[p.UserID], p)
+	s := d.Index()
+	backing := make([]Post, len(d.Posts))
+	for k, pos := range s.posts {
+		backing[k] = d.Posts[pos]
+	}
+	out := make(map[string][]Post, len(s.ids))
+	for u, id := range s.ids {
+		lo, hi := s.offsets[u], s.offsets[u+1]
+		out[id] = backing[lo:hi:hi]
 	}
 	return out
 }
 
-// PostCounts returns the number of posts per user.
+// PostCounts returns the number of posts per user, read off the columnar
+// index's offsets.
 func (d *Dataset) PostCounts() map[string]int {
-	out := make(map[string]int)
-	for _, p := range d.Posts {
-		out[p.UserID]++
+	s := d.Index()
+	out := make(map[string]int, len(s.ids))
+	for u, id := range s.ids {
+		out[id] = int(s.offsets[u+1] - s.offsets[u])
 	}
 	return out
 }
@@ -106,11 +126,25 @@ func (d *Dataset) TimeRange() (first, last time.Time, ok bool) {
 
 // FilterUsers returns a new dataset keeping only posts whose user the
 // predicate accepts. Ground truth entries for dropped users are removed.
+// The predicate is evaluated once per distinct user (via the columnar
+// index), not once per post.
 func (d *Dataset) FilterUsers(keep func(userID string) bool) *Dataset {
+	s := d.Index()
+	keepUser := make([]bool, s.NumUsers())
+	kept := 0
+	for u, id := range s.ids {
+		if keep(id) {
+			keepUser[u] = true
+			kept += s.Count(u)
+		}
+	}
 	out := &Dataset{Name: d.Name}
-	for _, p := range d.Posts {
-		if keep(p.UserID) {
-			out.Posts = append(out.Posts, p)
+	if kept > 0 {
+		out.Posts = make([]Post, 0, kept)
+		for i, p := range d.Posts {
+			if keepUser[s.userOf[i]] {
+				out.Posts = append(out.Posts, p)
+			}
 		}
 	}
 	if d.GroundTruth != nil {
@@ -125,9 +159,10 @@ func (d *Dataset) FilterUsers(keep func(userID string) bool) *Dataset {
 }
 
 // FilterPosts returns a new dataset keeping only posts the predicate
-// accepts. Ground truth is carried over unchanged.
+// accepts. Ground truth is carried over (as a copy, so the datasets stay
+// independent).
 func (d *Dataset) FilterPosts(keep func(Post) bool) *Dataset {
-	out := &Dataset{Name: d.Name, GroundTruth: d.GroundTruth}
+	out := &Dataset{Name: d.Name, GroundTruth: copyGroundTruth(d.GroundTruth)}
 	for _, p := range d.Posts {
 		if keep(p) {
 			out.Posts = append(out.Posts, p)
@@ -139,15 +174,31 @@ func (d *Dataset) FilterPosts(keep func(Post) bool) *Dataset {
 // FilterMinPosts drops users with fewer than min posts — the paper's
 // active-user threshold ("we chose the threshold to be 30 posts", §IV).
 func (d *Dataset) FilterMinPosts(min int) *Dataset {
-	counts := d.PostCounts()
-	return d.FilterUsers(func(u string) bool { return counts[u] >= min })
+	s := d.Index()
+	return d.FilterUsers(func(id string) bool {
+		u, ok := s.Lookup(id)
+		return ok && s.Count(u) >= min
+	})
 }
 
-// Window returns the posts falling in [from, to).
+// Window returns the posts falling in [from, to). When the dataset is
+// chronologically sorted (the common case — generators and loaders sort),
+// the boundaries are binary-searched instead of scanning every post.
 func (d *Dataset) Window(from, to time.Time) *Dataset {
-	return d.FilterPosts(func(p Post) bool {
-		return !p.Time.Before(from) && p.Time.Before(to)
-	})
+	s := d.Index()
+	if !s.SortedByTime() {
+		return d.FilterPosts(func(p Post) bool {
+			return !p.Time.Before(from) && p.Time.Before(to)
+		})
+	}
+	lo := sort.Search(len(d.Posts), func(i int) bool { return !d.Posts[i].Time.Before(from) })
+	hi := sort.Search(len(d.Posts), func(i int) bool { return !d.Posts[i].Time.Before(to) })
+	out := &Dataset{Name: d.Name, GroundTruth: copyGroundTruth(d.GroundTruth)}
+	if lo < hi {
+		out.Posts = make([]Post, hi-lo)
+		copy(out.Posts, d.Posts[lo:hi])
+	}
+	return out
 }
 
 // Merge combines several datasets into one. Ground-truth maps are merged;
@@ -170,11 +221,13 @@ func Merge(name string, datasets ...*Dataset) (*Dataset, error) {
 }
 
 // SortByTime orders posts chronologically in place (stable, so same-instant
-// posts keep their relative order).
+// posts keep their relative order). The cached columnar index is dropped:
+// its post-parallel columns no longer match the new order.
 func (d *Dataset) SortByTime() {
 	sort.SliceStable(d.Posts, func(i, j int) bool {
 		return d.Posts[i].Time.Before(d.Posts[j].Time)
 	})
+	d.idx = nil
 }
 
 // WriteJSON serializes the dataset.
@@ -199,27 +252,85 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 var csvHeader = []string{"user_id", "time_rfc3339"}
 
 // WriteCSV writes the posts as CSV with a header row. Ground truth is not
-// part of the CSV format.
+// part of the CSV format. Rows are assembled in a reused byte buffer — the
+// timestamp field never needs quoting and the user-ID field is quoted only
+// when it contains a CSV metacharacter, so the common row costs zero
+// allocations. The byte output is identical to encoding/csv's.
 func (d *Dataset) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 64)
+	buf = append(buf, csvHeader[0]...)
+	buf = append(buf, ',')
+	buf = append(buf, csvHeader[1]...)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
 		return fmt.Errorf("trace: write CSV header: %w", err)
 	}
 	for _, p := range d.Posts {
-		if err := cw.Write([]string{p.UserID, p.Time.UTC().Format(time.RFC3339)}); err != nil {
+		buf = appendCSVField(buf[:0], p.UserID)
+		buf = append(buf, ',')
+		buf = appendRFC3339(buf, p.Time)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("trace: write CSV row: %w", err)
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flush CSV: %w", err)
 	}
 	return nil
 }
 
+// appendCSVField appends a CSV field, quoting it exactly when encoding/csv
+// would (field contains a quote, comma, CR, or LF, or begins with a space).
+func appendCSVField(buf []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(buf, field...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(field); i++ {
+		if c := field[i]; c == '"' {
+			buf = append(buf, '"', '"')
+		} else {
+			// CR and LF pass through unchanged, matching csv.Writer with
+			// UseCRLF off.
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// csvFieldNeedsQuotes mirrors encoding/csv's unexported fieldNeedsQuotes
+// for the default (comma, non-CRLF) writer: quote on comma, quote, CR, LF,
+// a leading Unicode space, or the literal field `\.`.
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` {
+		return true
+	}
+	if strings.ContainsAny(field, `",`) || strings.ContainsAny(field, "\r\n") {
+		return true
+	}
+	r1, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r1)
+}
+
 // ReadCSV reads a CSV produced by WriteCSV.
 func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	return ReadCSVHint(name, r, 0)
+}
+
+// ReadCSVHint is ReadCSV with a post-count hint used to preallocate the
+// post slice — pass the expected number of rows (0 is fine). Rows are
+// parsed through a fixed-layout RFC3339 fast path (falling back to
+// time.Parse for offsets, fractional seconds, or anything unusual), and
+// user-ID strings are interned so a million-post file holds one string per
+// distinct user instead of one per row.
+func ReadCSVHint(name string, r io.Reader, postHint int) (*Dataset, error) {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if errors.Is(err, io.EOF) {
 		return nil, errors.New("trace: empty CSV")
@@ -231,6 +342,10 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
 	}
 	out := &Dataset{Name: name}
+	if postHint > 0 {
+		out.Posts = make([]Post, 0, postHint)
+	}
+	intern := make(map[string]string)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if errors.Is(err, io.EOF) {
@@ -239,13 +354,165 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: read CSV line %d: %w", line, err)
 		}
-		ts, err := time.Parse(time.RFC3339, rec[1])
+		ts, err := parseRFC3339(rec[1])
 		if err != nil {
 			return nil, fmt.Errorf("trace: parse time on line %d: %w", line, err)
 		}
-		out.Posts = append(out.Posts, Post{UserID: rec[0], Time: ts.UTC()})
+		// Intern the user ID: csv fields are substrings of a fresh per-row
+		// string (safe to retain even with ReuseRecord), and the map keeps
+		// one string per distinct user rather than one per row.
+		id, ok := intern[rec[0]]
+		if !ok {
+			id = rec[0]
+			intern[id] = id
+		}
+		out.Posts = append(out.Posts, Post{UserID: id, Time: ts})
 	}
 	return out, nil
+}
+
+// parseRFC3339 parses an RFC3339 timestamp and normalizes it to UTC. The
+// overwhelmingly common shape in our files — "2006-01-02T15:04:05Z",
+// exactly what WriteCSV emits — is decoded with integer arithmetic; any
+// other shape falls back to time.Parse so accepted inputs and error
+// behavior match the stdlib exactly.
+func parseRFC3339(s string) (time.Time, error) {
+	if len(s) == 20 && s[4] == '-' && s[7] == '-' && s[10] == 'T' &&
+		s[13] == ':' && s[16] == ':' && s[19] == 'Z' {
+		year, ok1 := atoi4(s[0:4])
+		month, ok2 := atoi2(s[5:7])
+		day, ok3 := atoi2(s[8:10])
+		hour, ok4 := atoi2(s[11:13])
+		min, ok5 := atoi2(s[14:16])
+		sec, ok6 := atoi2(s[17:19])
+		if ok1 && ok2 && ok3 && ok4 && ok5 && ok6 &&
+			month >= 1 && month <= 12 && day >= 1 && day <= daysIn(year, month) &&
+			hour <= 23 && min <= 59 && sec <= 59 {
+			return time.Unix(unixFromCivil(year, month, day)+int64(hour)*3600+int64(min)*60+int64(sec), 0).UTC(), nil
+		}
+	}
+	ts, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return ts.UTC(), nil
+}
+
+func atoi2(s string) (int, bool) {
+	a, b := s[0]-'0', s[1]-'0'
+	if a > 9 || b > 9 {
+		return 0, false
+	}
+	return int(a)*10 + int(b), true
+}
+
+func atoi4(s string) (int, bool) {
+	hi, ok1 := atoi2(s[0:2])
+	lo, ok2 := atoi2(s[2:4])
+	return hi*100 + lo, ok1 && ok2
+}
+
+func daysIn(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	}
+	if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+		return 29
+	}
+	return 28
+}
+
+// appendRFC3339 appends t in UTC as RFC3339, producing the same bytes as
+// t.UTC().Format(time.RFC3339). Whole-second instants in years 0000-9999 —
+// every timestamp this package produces — take an integer fast path; the
+// rest fall back to AppendFormat.
+func appendRFC3339(buf []byte, t time.Time) []byte {
+	sec := t.Unix()
+	if t.Nanosecond() == 0 {
+		days := sec / 86400
+		rem := sec % 86400
+		if rem < 0 {
+			days--
+			rem += 86400
+		}
+		year, month, day := civilFromDays(days)
+		if year >= 0 && year <= 9999 {
+			buf = appendDigits4(buf, int(year))
+			buf = append(buf, '-')
+			buf = appendDigits2(buf, month)
+			buf = append(buf, '-')
+			buf = appendDigits2(buf, day)
+			buf = append(buf, 'T')
+			buf = appendDigits2(buf, int(rem/3600))
+			buf = append(buf, ':')
+			buf = appendDigits2(buf, int(rem/60%60))
+			buf = append(buf, ':')
+			buf = appendDigits2(buf, int(rem%60))
+			return append(buf, 'Z')
+		}
+	}
+	return t.UTC().AppendFormat(buf, time.RFC3339)
+}
+
+func appendDigits2(buf []byte, v int) []byte {
+	return append(buf, byte('0'+v/10), byte('0'+v%10))
+}
+
+func appendDigits4(buf []byte, v int) []byte {
+	return append(appendDigits2(buf, v/100), byte('0'+v/10%10), byte('0'+v%10))
+}
+
+// civilFromDays is the inverse of unixFromCivil: Unix day number to
+// proleptic-Gregorian (year, month, day), via Hinnant's civil-from-days.
+func civilFromDays(z int64) (year int64, month, day int) {
+	z += 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	day = int(doy - (153*mp+2)/5 + 1)
+	month = int(mp) + 3
+	if mp >= 10 {
+		month = int(mp) - 9
+	}
+	year = yoe + era*400
+	if month <= 2 {
+		year++
+	}
+	return year, month, day
+}
+
+// unixFromCivil converts a proleptic-Gregorian UTC calendar date to Unix
+// days*86400 using Howard Hinnant's days-from-civil algorithm.
+func unixFromCivil(year, month, day int) int64 {
+	y := int64(year)
+	if month <= 2 {
+		y--
+	}
+	var era int64
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int64
+	if month > 2 {
+		mp = int64(month) - 3
+	} else {
+		mp = int64(month) + 9
+	}
+	doy := (153*mp+2)/5 + int64(day) - 1   // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	days := era*146097 + doe - 719468      // days since 1970-01-01
+	return days * 86400
 }
 
 // Summary holds headline statistics of a dataset.
@@ -287,7 +554,7 @@ func (d *Dataset) Subsample(prob float64, seed int64) (*Dataset, error) {
 		return nil, fmt.Errorf("trace: subsample probability %g outside [0,1]", prob)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	out := &Dataset{Name: d.Name, GroundTruth: d.GroundTruth}
+	out := &Dataset{Name: d.Name, GroundTruth: copyGroundTruth(d.GroundTruth)}
 	for _, p := range d.Posts {
 		if rng.Float64() < prob {
 			out.Posts = append(out.Posts, p)
