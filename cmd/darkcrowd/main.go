@@ -29,6 +29,7 @@ import (
 	"darkcrowd/internal/core/profile"
 	"darkcrowd/internal/crawler"
 	"darkcrowd/internal/forum"
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -81,6 +82,67 @@ subcommands:
   hemisphere  classify users as northern/southern hemisphere (DST test)
   scrape      crawl a live forum into a CSV trace
   serve       host a synthetic forum over plain HTTP`)
+}
+
+// obsFlags wires the observability layer (internal/obs) into a
+// subcommand: -metrics dumps the JSON metrics report when the command
+// finishes, -trace renders the stage tree, -progress streams per-stage
+// events to stderr as they happen, and -debug-addr serves /metrics plus
+// net/http/pprof while the command runs. With none of the flags set the
+// pipeline runs unobserved (nil observer — zero allocation, zero
+// overhead), and observation never changes any output: the numbers the
+// command prints are bit-identical either way.
+type obsFlags struct {
+	metrics   *bool
+	traceTree *bool
+	progress  *bool
+	debugAddr *string
+}
+
+func registerObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		metrics:   fs.Bool("metrics", false, "print a JSON metrics report when done"),
+		traceTree: fs.Bool("trace", false, "print the stage trace tree when done"),
+		progress:  fs.Bool("progress", false, "stream per-stage progress events to stderr"),
+		debugAddr: fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while running"),
+	}
+}
+
+// observer builds the subcommand's Observer — nil when no flag asks for
+// observation — and a finish func that emits the requested reports to
+// stdout and shuts the debug server down.
+func (of *obsFlags) observer(root string) (*obs.Observer, func(), error) {
+	if !*of.metrics && !*of.traceTree && !*of.progress && *of.debugAddr == "" {
+		return nil, func() {}, nil
+	}
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Span: obs.StartSpan(root)}
+	if *of.progress {
+		o.Log = obs.NewLogger(os.Stderr)
+	}
+	var srv *obs.DebugServer
+	if *of.debugAddr != "" {
+		var err error
+		srv, err = obs.Serve(*of.debugAddr, o.Metrics)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr)
+	}
+	finish := func() {
+		o.Span.End()
+		if *of.traceTree {
+			fmt.Print(o.Span.Tree())
+		}
+		if *of.metrics {
+			if err := o.Metrics.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "darkcrowd: write metrics:", err)
+			}
+		}
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}
+	return o, finish, nil
 }
 
 // parseRegions parses "jp:60,us-il:30" into ordered (code, count) pairs.
@@ -271,22 +333,36 @@ func cmdGeolocate(args []string) error {
 	minPosts := fs.Int("min-posts", profile.DefaultMinPosts, "active-user threshold")
 	skipPolish := fs.Bool("skip-polish", false, "skip flat-profile removal")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores, 1 = sequential); output is identical for every setting")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, err := loadTrace(*in)
+	o, finish, err := of.observer("geolocate")
 	if err != nil {
 		return err
 	}
+	defer finish()
+	lo := o.Stage("load-trace")
+	ds, err := loadTrace(*in)
+	if err != nil {
+		lo.End()
+		return err
+	}
+	lo.AddItems(int64(ds.NumPosts()))
+	lo.Counter("trace.posts_loaded").Add(int64(ds.NumPosts()))
+	lo.End()
 	var gen *profile.GenericResult
+	ro := o.Stage("reference")
 	if *refPath != "" {
 		fh, err := os.Open(*refPath)
 		if err != nil {
+			ro.End()
 			return fmt.Errorf("open reference: %w", err)
 		}
 		ref, err := darkcrowd.ReadReference(fh)
 		fh.Close()
 		if err != nil {
+			ro.End()
 			return err
 		}
 		gen = &profile.GenericResult{
@@ -297,25 +373,34 @@ func cmdGeolocate(args []string) error {
 	} else {
 		gen, err = reference(*seed, *scale, *workers)
 		if err != nil {
+			ro.End()
 			return err
 		}
 	}
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts, Parallelism: *workers})
+	ro.End()
+	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts, Parallelism: *workers, Obs: o})
 	if err != nil {
 		return err
 	}
 	if !*skipPolish {
+		po := o.Stage("polish")
 		polished, err := profile.Polish(profiles, gen.Generic, true)
 		if err != nil {
+			po.End()
 			return err
 		}
 		if len(polished.Removed) > 0 {
 			fmt.Printf("polishing removed %d flat profile(s)\n", len(polished.Removed))
 		}
 		profiles = polished.Kept
+		po.AddItems(int64(len(polished.Kept)))
+		po.Counter("polish.users_kept").Add(int64(len(polished.Kept)))
+		po.Counter("polish.users_removed").Add(int64(len(polished.Removed)))
+		po.End()
 	}
 	geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{
 		Place: geoloc.PlaceOptions{Parallelism: *workers},
+		Obs:   o,
 	})
 	if err != nil {
 		return err
@@ -373,18 +458,25 @@ func cmdScrape(args []string) error {
 	maxFailures := fs.Int("max-failures", 0, "threads allowed to fail before the crawl aborts")
 	ckpt := fs.String("checkpoint", "", "checkpoint file for resumable crawls (empty = off)")
 	ckptEvery := fs.Int("checkpoint-every", 1, "save the checkpoint every N completed threads")
+	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rawURL == "" {
 		return fmt.Errorf("-url is required")
 	}
+	o, finish, err := of.observer("scrape")
+	if err != nil {
+		return err
+	}
+	defer finish()
 	c := &crawler.Crawler{
 		BaseURL:     strings.TrimRight(*rawURL, "/"),
 		Timeout:     *timeout,
 		Retry:       crawler.RetryPolicy{MaxAttempts: *retries},
 		MinInterval: *minInterval,
 		MaxFailures: *maxFailures,
+		Obs:         o,
 	}
 	res, err := c.ScrapeResumable(context.Background(), "scraped",
 		crawler.CheckpointOptions{Path: *ckpt, Every: *ckptEvery})

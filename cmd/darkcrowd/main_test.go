@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"darkcrowd/internal/forum"
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -162,5 +165,110 @@ func TestReferenceRoundTrip(t *testing.T) {
 	}
 	if err := run([]string{"geolocate", "-in", crowdPath, "-ref", filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("missing reference should fail")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", runErr, data)
+	}
+	return string(data)
+}
+
+func TestGeolocateObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "crowd.csv")
+	if err := run([]string{"generate", "-regions", "jp:40", "-posts", "80", "-seed", "5", "-out", out}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	got := captureStdout(t, func() error {
+		return run([]string{"geolocate", "-in", out, "-twitter-scale", "300", "-metrics", "-trace"})
+	})
+	// The stage tree must cover the whole pipeline.
+	for _, stage := range []string{"geolocate", "load-trace", "reference", "profile-build", "polish", "placement", "em-select"} {
+		if !strings.Contains(got, stage) {
+			t.Errorf("trace output missing stage %q:\n%s", stage, got)
+		}
+	}
+	// The metrics report is the trailing JSON object.
+	idx := strings.Index(got, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON metrics report in output:\n%s", got)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(got[idx:]), &snap); err != nil {
+		t.Fatalf("metrics report is not valid JSON: %v\n%s", err, got[idx:])
+	}
+	for _, name := range []string{"trace.posts_loaded", "profile.users_built", "placement.users_placed"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q missing from metrics report: %v", name, snap.Counters)
+		}
+	}
+	if snap.Gauges["em.selected_k"] == 0 {
+		t.Errorf("em.selected_k missing from metrics report: %v", snap.Gauges)
+	}
+}
+
+func TestScrapeObservabilityFlags(t *testing.T) {
+	region, err := tz.ByCode("it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := synth.GenerateCrowd(78, synth.CrowdConfig{
+		Name:   "cli-scrape-obs",
+		Groups: []synth.Group{{Region: region, Users: 4, PostsPerUser: 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := forum.New(forum.Config{
+		Name:         "obs forum",
+		ServerOffset: time.Hour,
+		Clock:        func() time.Time { return time.Date(2017, 7, 1, 10, 0, 0, 0, time.UTC) },
+	})
+	if err := f.ImportCrowd(crowd, forum.ImportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scraped.csv")
+	got := captureStdout(t, func() error {
+		return run([]string{"scrape", "-url", srv.URL, "-out", out, "-metrics", "-trace"})
+	})
+	for _, stage := range []string{"scrape", "crawl", "probe"} {
+		if !strings.Contains(got, stage) {
+			t.Errorf("trace output missing stage %q:\n%s", stage, got)
+		}
+	}
+	idx := strings.Index(got, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON metrics report in output:\n%s", got)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(got[idx:]), &snap); err != nil {
+		t.Fatalf("metrics report is not valid JSON: %v\n%s", err, got[idx:])
+	}
+	for _, name := range []string{"crawler.requests", "crawler.threads_scraped", "crawler.pages", "crawler.posts_collected"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q missing from metrics report: %v", name, snap.Counters)
+		}
 	}
 }

@@ -43,6 +43,7 @@ import (
 
 	"darkcrowd/internal/core/geoloc"
 	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/stats"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
@@ -102,6 +103,11 @@ type Options struct {
 	Parallelism int
 	// Context, when non-nil, cancels a long geolocation run.
 	Context context.Context
+	// Obs, when non-nil, receives pipeline metrics and stage spans
+	// (profile-build, polish, placement, em-select) — see internal/obs.
+	// Observation only: the report is bit-for-bit identical with or
+	// without it.
+	Obs *obs.Observer
 }
 
 // Report is the outcome of geolocating a crowd.
@@ -147,18 +153,25 @@ func GeolocateCrowd(posts []Post, ref *Reference, opts Options) (*Report, error)
 		MinPosts:    opts.MinPosts,
 		Parallelism: opts.Parallelism,
 		Context:     opts.Context,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("darkcrowd: build crowd profiles: %w", err)
 	}
 	report := &Report{}
 	if !opts.SkipPolish {
+		po := opts.Obs.Stage("polish")
 		polished, err := profile.Polish(profiles, ref.Generic, true)
 		if err != nil {
+			po.End()
 			return nil, fmt.Errorf("darkcrowd: polish crowd: %w", err)
 		}
 		profiles = polished.Kept
 		report.RemovedUsers = polished.Removed
+		po.AddItems(int64(len(polished.Kept)))
+		po.Counter("polish.users_kept").Add(int64(len(polished.Kept)))
+		po.Counter("polish.users_removed").Add(int64(len(polished.Removed)))
+		po.End()
 	}
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("darkcrowd: no users survive polishing")
@@ -169,7 +182,8 @@ func GeolocateCrowd(posts []Post, ref *Reference, opts Options) (*Report, error)
 			Parallelism: opts.Parallelism,
 			Context:     opts.Context,
 		},
-		EM: stats.EMConfig{Parallelism: opts.Parallelism},
+		EM:  stats.EMConfig{Parallelism: opts.Parallelism},
+		Obs: opts.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("darkcrowd: geolocate: %w", err)

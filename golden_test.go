@@ -12,6 +12,7 @@ package darkcrowd
 // and review the fixture diff like any other code change.
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,7 +20,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"darkcrowd/internal/obs"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
@@ -171,5 +175,64 @@ func TestGeolocateCrowdGoldenParallelismInvariant(t *testing.T) {
 		if !reflect.DeepEqual(base, snap) {
 			t.Errorf("workers=%d: report differs from workers=1", workers)
 		}
+	}
+}
+
+// TestGeolocateCrowdObservationInvariant runs the golden pipeline
+// unobserved and fully observed (metrics registry + stage span + logger)
+// and demands bit-identical snapshots — instrumentation must never
+// perturb the numbers. It also sanity-checks that the observed run
+// actually recorded the pipeline stages and counters.
+func TestGeolocateCrowdObservationInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end observation sweep in -short mode")
+	}
+	labelled, err := SyntheticTwitterDataset(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildReference(labelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := SyntheticCrowd(2, map[string]int{"jp": 60, "us-il": 30}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := GeolocateCrowd(crowd.Posts, ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	o := &obs.Observer{
+		Metrics: obs.NewRegistry(),
+		Span:    obs.StartSpan("geolocate"),
+		Log:     obs.NewLogger(&logBuf),
+	}
+	observed, err := GeolocateCrowd(crowd.Posts, ref, Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Span.End()
+	if !reflect.DeepEqual(snapshotReport(plain), snapshotReport(observed)) {
+		t.Error("observed run differs from unobserved run — instrumentation perturbed the pipeline")
+	}
+	for _, stage := range []string{"profile-build", "polish", "placement", "em-select"} {
+		if o.Span.Find(stage) == nil {
+			t.Errorf("stage %q missing from span tree:\n%s", stage, o.Span.Tree())
+		}
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["placement.users_placed"]; got != int64(observed.ActiveUsers) {
+		t.Errorf("placement.users_placed = %d, want %d", got, observed.ActiveUsers)
+	}
+	if snap.Counters["profile.users_built"] == 0 {
+		t.Error("profile.users_built not recorded")
+	}
+	if snap.Gauges["em.selected_k"] != int64(len(observed.Components)) {
+		t.Errorf("em.selected_k = %d, want %d", snap.Gauges["em.selected_k"], len(observed.Components))
+	}
+	if !strings.Contains(logBuf.String(), "stage=em-select") {
+		t.Errorf("progress log missing em-select event:\n%s", logBuf.String())
 	}
 }

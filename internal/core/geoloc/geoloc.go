@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/par"
 	"darkcrowd/internal/stats"
 	"darkcrowd/internal/trace"
@@ -85,6 +86,11 @@ type PlaceOptions struct {
 	Parallelism int
 	// Context, when non-nil, cancels a long placement run between users.
 	Context context.Context
+	// Obs, when non-nil, receives placement metrics
+	// (placement.users_placed, per-zone counts) and a "placement" stage
+	// span with per-shard timings. Observation only: the placement is
+	// identical with or without it.
+	Obs *obs.Observer
 }
 
 // PlaceUsers assigns every profile to its nearest time zone, comparing the
@@ -114,7 +120,16 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 	if opts.Distance == DistanceLinearEMD {
 		zones = profile.ZoneProfiles(generic)
 	}
-	err := par.Ranges(opts.Context, opts.Parallelism, len(users), func(start, end int) error {
+	o := opts.Obs.Stage("placement")
+	defer o.End()
+	o.SetWorkers(par.Workers(opts.Parallelism, len(users)))
+	usersPlaced := o.Counter("placement.users_placed")
+	// A typed-nil *Span must not become a non-nil ShardObserver.
+	var so par.ShardObserver
+	if sp := o.SpanRef(); sp != nil {
+		so = sp
+	}
+	err := par.RangesObserved(opts.Context, opts.Parallelism, len(users), func(start, end int) error {
 		dists := make([]float64, tz.HoursPerDay)
 		scratch := make([]float64, 2*tz.HoursPerDay)
 		for i := start; i < end; i++ {
@@ -129,8 +144,9 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 			}
 			best[i] = zi
 		}
+		usersPlaced.Add(int64(end - start))
 		return nil
-	})
+	}, so)
 	if err != nil {
 		return nil, err
 	}
@@ -273,12 +289,18 @@ type GeolocateOptions struct {
 	MaxComponents int
 	// EM tunes the EM runs; Period is forced to 24.
 	EM stats.EMConfig
+	// Obs, when non-nil, is propagated to the placement and EM stages
+	// (unless those carry their own observer already). Observation only.
+	Obs *obs.Observer
 }
 
 // Geolocate runs the full §IV-B pipeline on a polished set of user
 // profiles: EMD placement, then EM-fitted Gaussian mixture with BIC model
 // selection, then the Table II fit-quality metrics.
 func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opts GeolocateOptions) (*Geolocation, error) {
+	if opts.Place.Obs == nil {
+		opts.Place.Obs = opts.Obs
+	}
 	placement, err := PlaceUsers(profiles, generic, opts.Place)
 	if err != nil {
 		return nil, err
@@ -288,6 +310,9 @@ func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opt
 	}
 	emCfg := opts.EM
 	emCfg.Period = tz.HoursPerDay
+	if emCfg.Obs == nil {
+		emCfg.Obs = opts.Obs
+	}
 	if emCfg.Parallelism == 0 {
 		// One knob steers the whole pipeline: a pinned placement pool size
 		// carries over to the per-k EM fits unless EM overrides it.

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/par"
 	"darkcrowd/internal/stats"
 	"darkcrowd/internal/trace"
@@ -324,6 +325,11 @@ type BuildOptions struct {
 	Parallelism int
 	// Context, when non-nil, cancels a long build between users.
 	Context context.Context
+	// Obs, when non-nil, receives build metrics (profile.users_active,
+	// profile.users_built, profile.cells_emitted) and a "profile-build"
+	// stage span with per-shard timings. Observation only: the output map
+	// is identical with or without it.
+	Obs *obs.Observer
 }
 
 // BuildUserProfiles builds one profile per active user of the dataset.
@@ -355,10 +361,22 @@ func BuildUserProfiles(ds *trace.Dataset, opts BuildOptions) (map[string]Profile
 			active = append(active, u)
 		}
 	}
+	o := opts.Obs.Stage("profile-build")
+	defer o.End()
+	o.SetWorkers(par.Workers(opts.Parallelism, len(active)))
+	o.Counter("profile.users_active").Add(int64(len(active)))
+	usersBuilt := o.Counter("profile.users_built")
+	cellsEmitted := o.Counter("profile.cells_emitted")
+	// A typed-nil *Span must not become a non-nil ShardObserver.
+	var so par.ShardObserver
+	if sp := o.SpanRef(); sp != nil {
+		so = sp
+	}
 	built := make([]Profile, len(active))
 	ok := make([]bool, len(active))
-	err := par.Ranges(opts.Context, opts.Parallelism, len(active), func(start, end int) error {
+	err := par.RangesObserved(opts.Context, opts.Parallelism, len(active), func(start, end int) error {
 		var times, keys []int64 // per-worker scratch, reused across users
+		var builtN, cellsN int64
 		for i := start; i < end; i++ {
 			if opts.Context != nil && i&0xff == 0 {
 				if err := opts.Context.Err(); err != nil {
@@ -370,14 +388,18 @@ func BuildUserProfiles(ds *trace.Dataset, opts BuildOptions) (map[string]Profile
 			for _, sec := range times {
 				keys = append(keys, cellKey(cells(sec)))
 			}
+			cellsN += int64(len(keys))
 			p, err := fromCellKeys(keys)
 			if err != nil {
 				continue // no usable activity cells
 			}
 			built[i], ok[i] = p, true
+			builtN++
 		}
+		usersBuilt.Add(builtN)
+		cellsEmitted.Add(cellsN)
 		return nil
-	})
+	}, so)
 	if err != nil {
 		return nil, err
 	}
@@ -405,9 +427,19 @@ func buildUserProfilesRows(ds *trace.Dataset, opts BuildOptions) (map[string]Pro
 		}
 	}
 	sort.Strings(active)
+	o := opts.Obs.Stage("profile-build")
+	defer o.End()
+	o.SetWorkers(par.Workers(opts.Parallelism, len(active)))
+	o.Counter("profile.users_active").Add(int64(len(active)))
+	usersBuilt := o.Counter("profile.users_built")
+	var so par.ShardObserver
+	if sp := o.SpanRef(); sp != nil {
+		so = sp
+	}
 	built := make([]Profile, len(active))
 	ok := make([]bool, len(active))
-	err := par.Ranges(opts.Context, opts.Parallelism, len(active), func(start, end int) error {
+	err := par.RangesObserved(opts.Context, opts.Parallelism, len(active), func(start, end int) error {
+		var builtN int64
 		for i := start; i < end; i++ {
 			if opts.Context != nil && i&0xff == 0 {
 				if err := opts.Context.Err(); err != nil {
@@ -419,9 +451,11 @@ func buildUserProfilesRows(ds *trace.Dataset, opts BuildOptions) (map[string]Pro
 				continue // no usable activity cells
 			}
 			built[i], ok[i] = p, true
+			builtN++
 		}
+		usersBuilt.Add(builtN)
 		return nil
-	})
+	}, so)
 	if err != nil {
 		return nil, err
 	}

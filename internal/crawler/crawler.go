@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"darkcrowd/internal/forum"
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/trace"
 )
 
@@ -90,6 +91,12 @@ type Crawler struct {
 	// Sleep, when set, replaces the real pauses (backoff, politeness);
 	// tests use it to run fault schedules without wall-clock delays.
 	Sleep func(time.Duration)
+	// Obs, when non-nil, receives crawl metrics (crawler.requests,
+	// crawler.retries, backoff/politeness wait totals, checkpoint saves,
+	// thread/page/post counts, the remaining failure budget), "crawl" and
+	// "probe" stage spans, and per-thread progress events. Observation
+	// only: the crawl behaves identically with or without it.
+	Obs *obs.Observer
 
 	retries atomic.Int64
 
@@ -182,6 +189,7 @@ func (c *Crawler) politeness(ctx context.Context) error {
 	}
 	c.gateNext = now.Add(wait + c.MinInterval)
 	c.gateMu.Unlock()
+	c.Obs.Counter("crawler.politeness_wait_ns").Add(int64(wait))
 	return c.pause(ctx, wait)
 }
 
@@ -209,13 +217,17 @@ func (c *Crawler) do(ctx context.Context, method, path string, form url.Values) 
 		}
 		if attempt > 1 {
 			c.retries.Add(1)
-			if err := c.pause(ctx, c.backoffDelay(policy, attempt-1)); err != nil {
+			c.Obs.Counter("crawler.retries").Inc()
+			delay := c.backoffDelay(policy, attempt-1)
+			c.Obs.Counter("crawler.backoff_wait_ns").Add(int64(delay))
+			if err := c.pause(ctx, delay); err != nil {
 				return 0, "", "", err
 			}
 		}
 		if err := c.politeness(ctx); err != nil {
 			return 0, "", "", err
 		}
+		c.Obs.Counter("crawler.requests").Inc()
 		st, b, fu, err := c.doOnce(ctx, method, path, form)
 		if err != nil {
 			if !transientError(err) {
@@ -307,6 +319,14 @@ func (c *Crawler) MeasureOffset() (time.Duration, error) {
 // clock. The offset is rounded to the nearest minute (network latency is
 // well below that).
 func (c *Crawler) MeasureOffsetContext(ctx context.Context) (time.Duration, error) {
+	o := c.Obs.Stage("probe")
+	defer o.End()
+	return c.measureOffset(ctx, o)
+}
+
+// measureOffset is MeasureOffsetContext under a caller-owned stage span,
+// so a probe run from inside a crawl nests under the "crawl" span.
+func (c *Crawler) measureOffset(ctx context.Context, o *obs.Observer) (time.Duration, error) {
 	// Registration may 409 if a previous probe ran; that is fine.
 	status, _, finalURL, err := c.do(ctx, http.MethodPost, "/register", url.Values{"name": {ProbeAuthor}})
 	if err != nil {
@@ -347,7 +367,11 @@ func (c *Crawler) MeasureOffsetContext(ctx context.Context) (time.Duration, erro
 	// offset plus network latency.
 	delta := displayed.Sub(time.Date(sent.Year(), sent.Month(), sent.Day(),
 		sent.Hour(), sent.Minute(), sent.Second(), 0, time.UTC))
-	return delta.Round(time.Minute), nil
+	offset := delta.Round(time.Minute)
+	if o.Enabled() {
+		o.Eventf("probe", "server offset measured", "offset", offset.String())
+	}
+	return offset, nil
 }
 
 // findWelcomeThread locates the Welcome thread by scanning boards in
@@ -407,6 +431,8 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 	if opts.Every <= 0 {
 		opts.Every = 1
 	}
+	o := c.Obs.Stage("crawl")
+	defer o.End()
 	startRetries := c.retries.Load()
 	res := &Result{Dataset: &trace.Dataset{Name: datasetName}}
 
@@ -433,8 +459,14 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 		for _, id := range ck.DoneThreads {
 			done[id] = true
 		}
+		if o.Enabled() {
+			o.Eventf("crawl", "resumed from checkpoint",
+				"threads_done", len(ck.DoneThreads), "posts", len(ck.Posts))
+		}
 	} else {
-		offset, err := c.MeasureOffsetContext(ctx)
+		po := o.Stage("probe")
+		offset, err := c.measureOffset(ctx, po)
+		po.End()
 		if err != nil {
 			return nil, err
 		}
@@ -457,7 +489,11 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 			Errors:       res.Errors,
 			Posts:        res.Dataset.Posts,
 		}
-		return snap.save(opts.Path)
+		if err := snap.save(opts.Path); err != nil {
+			return err
+		}
+		o.Counter("crawler.checkpoint_saves").Inc()
+		return nil
 	}
 	// fatal checkpoints the progress so far, then surfaces the error.
 	fatal := func(err error) (*Result, error) {
@@ -467,6 +503,10 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 		return nil, err
 	}
 
+	// Skips remaining before the budget is exhausted (one more skip at
+	// zero aborts the crawl).
+	budget := o.Gauge("crawler.failure_budget_remaining")
+	budget.Set(int64(c.MaxFailures - res.Skipped))
 	index, err := c.get(ctx, "/")
 	if err != nil {
 		return fatal(err)
@@ -475,6 +515,7 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 	seenThreads := map[string]bool{}
 	for _, bm := range boardLinkRe.FindAllStringSubmatch(index, -1) {
 		res.Boards++
+		o.Counter("crawler.boards").Inc()
 		boardPage, err := c.get(ctx, "/board?id="+bm[1])
 		if err != nil {
 			return fatal(err)
@@ -497,6 +538,11 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 				}
 				res.Skipped++
 				res.Errors = append(res.Errors, CrawlError{Thread: id, Page: pages, Err: err.Error()})
+				o.Counter("crawler.threads_skipped").Inc()
+				budget.Set(int64(c.MaxFailures - res.Skipped))
+				if o.Enabled() {
+					o.Eventf("crawl", "thread skipped", "thread", id, "err", err.Error())
+				}
 				if res.Skipped > c.MaxFailures {
 					return fatal(fmt.Errorf("crawler: failure budget exhausted (%d skipped, budget %d): %w",
 						res.Skipped, c.MaxFailures, err))
@@ -506,6 +552,13 @@ func (c *Crawler) ScrapeResumable(ctx context.Context, datasetName string, opts 
 			res.Threads++
 			res.Pages += pages
 			res.Dataset.Posts = append(res.Dataset.Posts, posts...)
+			o.Counter("crawler.threads_scraped").Inc()
+			o.Counter("crawler.pages").Add(int64(pages))
+			o.Counter("crawler.posts_collected").Add(int64(len(posts)))
+			o.AddItems(1)
+			if o.Enabled() {
+				o.Eventf("crawl", "thread done", "thread", id, "pages", pages, "posts", len(posts))
+			}
 			done[id] = true
 			doneOrder = append(doneOrder, id)
 			if sinceSave++; opts.Path != "" && sinceSave >= opts.Every {

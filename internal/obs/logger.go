@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is the structured progress logger: one logfmt-style line per
+// event, timestamped, safe for concurrent use. A nil *Logger drops every
+// event, so progress calls cost a nil check when logging is off.
+//
+//	ts=2018-03-01T12:00:00.000Z stage=crawl msg="thread done" thread=12 pages=3
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock func() time.Time
+}
+
+// NewLogger creates a logger writing to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, clock: time.Now}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *Logger) SetClock(clock func() time.Time) {
+	if l == nil || clock == nil {
+		return
+	}
+	l.mu.Lock()
+	l.clock = clock
+	l.mu.Unlock()
+}
+
+// Eventf emits one progress event for a pipeline stage. The message is
+// formatted with fmt and quoted if it contains spaces; extra key=value
+// pairs come in as alternating key, value arguments:
+//
+//	log.Eventf("crawl", "thread done", "thread", id, "pages", pages)
+func (l *Logger) Eventf(stage, msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	l.mu.Lock()
+	ts := l.clock().UTC()
+	l.mu.Unlock()
+	b.WriteString("ts=")
+	b.WriteString(ts.Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" stage=")
+	b.WriteString(stage)
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		writeValue(&b, fmt.Sprintf("%v", kv[i+1]))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// writeValue writes a logfmt value, quoting when it contains spaces,
+// quotes or equals signs.
+func writeValue(b *strings.Builder, v string) {
+	if strings.ContainsAny(v, " \t\"=") {
+		fmt.Fprintf(b, "%q", v)
+		return
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,390 @@
+// Package obs is the pipeline's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges and histograms with a
+// lock-free hot path and snapshot-on-read), a hierarchical stage tracer
+// (Span), a structured progress logger, and an optional debug HTTP
+// server exposing /metrics and net/http/pprof.
+//
+// Two properties govern every type in this package:
+//
+//   - Observation only. Nothing here feeds back into the pipeline:
+//     instrumented code produces bit-identical output whether metrics are
+//     on, off, or racing with a snapshot. Counters are updated with atomic
+//     adds; reads assemble a consistent-enough snapshot without stopping
+//     writers.
+//
+//   - Free when disabled. Every exported method tolerates a nil receiver
+//     and returns immediately, allocating nothing, so instrumented hot
+//     loops pay a single predictable nil check when observability is off.
+//     Call sites that would build metric names dynamically must guard with
+//     Observer.Enabled (name formatting is where allocations hide).
+//
+// Hot loops should resolve their instruments once, outside the loop
+// (Registry lookups take a mutex; Counter.Add does not), exactly like
+// caching a logger field.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic count. The zero value is
+// ready to use; a nil *Counter ignores all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (0 for a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value-wins integer instrument. A nil *Gauge
+// ignores all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta (gauges may go down, unlike counters).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a last-value-wins float64 instrument (EM log-likelihoods,
+// BIC scores). A nil *FloatGauge ignores all updates.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *FloatGauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bit length i, i.e. 2^(i-1) <= v < 2^i;
+// non-positive observations land in bucket 0.
+const histBuckets = 64
+
+// Histogram records the distribution of an int64-valued observation
+// (durations in nanoseconds, batch sizes) in power-of-two buckets. All
+// updates are single atomic adds; min/max are maintained with CAS loops.
+// A nil *Histogram ignores all updates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	var b int
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time read of a Histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets maps the inclusive upper bound of each non-empty
+	// power-of-two bucket (rendered as a decimal string, so JSON keys
+	// stay exact) to its count.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot reads the histogram without stopping writers. Concurrent
+// observations may straddle the read; the snapshot is still internally
+// plausible (counts never negative, mean from the same count/sum read).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[string]int64)
+			}
+			upper := int64(math.MaxInt64)
+			if i < 63 {
+				upper = (int64(1) << i) - 1
+			}
+			s.Buckets[fmt.Sprintf("%d", upper)] = n
+		}
+	}
+	return s
+}
+
+// Registry holds named instruments. Registration (the name -> instrument
+// lookup) takes a mutex and may allocate; the instruments themselves are
+// lock-free, so hot loops resolve once and update atomically. A nil
+// *Registry hands out nil instruments, which ignore all updates.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	floats   map[string]*FloatGauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		floats:   make(map[string]*FloatGauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.floats[name]
+	if g == nil {
+		g = &FloatGauge{}
+		r.floats[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-ready read of every instrument.
+type Snapshot struct {
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every registered instrument. Writers are never blocked:
+// the registration lock is held only to copy the instrument pointers, and
+// each value is then read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	floats := make(map[string]*FloatGauge, len(r.floats))
+	for k, v := range r.floats {
+		floats[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, v := range counters {
+			s.Counters[k] = v.Load()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for k, v := range gauges {
+			s.Gauges[k] = v.Load()
+		}
+	}
+	if len(floats) > 0 {
+		s.FloatGauges = make(map[string]float64, len(floats))
+		for k, v := range floats {
+			s.FloatGauges[k] = v.Load()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, v := range hists {
+			s.Histograms[k] = v.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry. Map keys
+// are emitted in sorted order (encoding/json's behaviour), so the report
+// is diff-friendly.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal metrics snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// Names returns the sorted names of all registered instruments of every
+// kind, mainly for tests and debugging.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.floats)+len(r.hists))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	for k := range r.floats {
+		out = append(out, k)
+	}
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

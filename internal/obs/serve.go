@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the debug mux for a live run: GET /metrics answers an
+// indented JSON snapshot of the registry, and /debug/pprof/* exposes the
+// standard runtime profiles (CPU, heap, goroutine, block, mutex, trace).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a background HTTP server exposing Handler for the
+// duration of a run.
+type DebugServer struct {
+	// Addr is the bound address, useful when ":0" was requested.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr and serves /metrics and /debug/pprof in a background
+// goroutine until Close is called. The bind is synchronous, so a bad
+// address fails here rather than silently in the background.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: bind debug server: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has
+		// nowhere to go — the pipeline must not fail because its debug
+		// endpoint did.
+		_ = srv.Serve(ln)
+	}()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close shuts the debug server down, waiting briefly for in-flight
+// requests.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	reg.Counter("crawler.requests").Add(7)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["crawler.requests"] != 7 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	t.Parallel()
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof goroutine: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A nil server closes cleanly, and a bad address fails synchronously.
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if _, err := Serve("256.256.256.256:0", reg); err == nil {
+		t.Error("bad address should fail to bind")
+	}
+}

@@ -15,6 +15,7 @@ package par
 import (
 	"context"
 	"runtime"
+	"time"
 )
 
 // Workers resolves a Parallelism setting against an item count:
@@ -36,6 +37,16 @@ func Workers(parallelism, items int) int {
 	return w
 }
 
+// ShardObserver receives a completion report for every shard a Ranges
+// call ran: the worker index, the half-open item range, and the shard's
+// wall time. Implementations must be safe for concurrent calls (shards
+// finish on their own goroutines). Reports are observation-only — they
+// must not influence the computation. *obs.Span implements this
+// interface.
+type ShardObserver interface {
+	ShardDone(worker, start, end int, elapsed time.Duration)
+}
+
 // Ranges splits [0, n) into `workers` contiguous shards and calls
 // fn(start, end) for each shard on its own goroutine, waiting for all of
 // them. Shard boundaries depend only on (workers, n), never on scheduling.
@@ -49,22 +60,41 @@ func Workers(parallelism, items int) int {
 // With workers <= 1 (or n <= 1) fn runs inline on the calling goroutine —
 // the sequential path and the parallel path execute the exact same code.
 func Ranges(ctx context.Context, workers, n int, fn func(start, end int) error) error {
+	return RangesObserved(ctx, workers, n, fn, nil)
+}
+
+// RangesObserved is Ranges with an instrumentation hook: when so is
+// non-nil every shard's completion is reported through it, timed with the
+// per-shard wall clock. A nil so skips the clock reads entirely, so the
+// unobserved path is exactly the historical Ranges. The observer has no
+// way to affect shard boundaries, ordering, or results — parallel runs
+// stay bit-identical to sequential runs, observed or not.
+func RangesObserved(ctx context.Context, workers, n int, fn func(start, end int) error, so ShardObserver) error {
 	if n <= 0 {
 		return ctxErr(ctx)
 	}
 	workers = Workers(workers, n)
+	shard := func(w, start, end int) error {
+		if so == nil {
+			return fn(start, end)
+		}
+		began := time.Now()
+		err := fn(start, end)
+		so.ShardDone(w, start, end, time.Since(began))
+		return err
+	}
 	if workers == 1 {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		return fn(0, n)
+		return shard(0, 0, n)
 	}
 	errs := make([]error, workers)
 	done := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		start, end := w*n/workers, (w+1)*n/workers
 		go func(w, start, end int) {
-			errs[w] = fn(start, end)
+			errs[w] = shard(w, start, end)
 			done <- w
 		}(w, start, end)
 	}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -104,5 +107,100 @@ func TestRangesCancelledContext(t *testing.T) {
 	err = Ranges(ctx, 4, 10, func(start, end int) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("parallel: got %v, want context.Canceled", err)
+	}
+}
+
+// shardLog is a test ShardObserver collecting every report.
+type shardLog struct {
+	mu      sync.Mutex
+	reports []shardReport
+}
+
+type shardReport struct {
+	worker, start, end int
+	elapsed            time.Duration
+}
+
+func (l *shardLog) ShardDone(worker, start, end int, elapsed time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reports = append(l.reports, shardReport{worker, start, end, elapsed})
+}
+
+func TestRangesObservedReportsEveryShard(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 3, 8} {
+		log := &shardLog{}
+		var visited atomic.Int64
+		err := RangesObserved(context.Background(), workers, 64, func(start, end int) error {
+			visited.Add(int64(end - start))
+			return nil
+		}, log)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if visited.Load() != 64 {
+			t.Fatalf("workers=%d: visited %d items", workers, visited.Load())
+		}
+		want := Workers(workers, 64)
+		if len(log.reports) != want {
+			t.Fatalf("workers=%d: %d shard reports, want %d", workers, len(log.reports), want)
+		}
+		// Reports arrive in completion order; sorted by start they must
+		// tile [0, 64) exactly, each tagged with its worker index.
+		sort.Slice(log.reports, func(i, j int) bool { return log.reports[i].start < log.reports[j].start })
+		next := 0
+		for _, r := range log.reports {
+			if r.start != next {
+				t.Fatalf("workers=%d: shard starts at %d, want %d", workers, r.start, next)
+			}
+			// Worker w covers [w*n/want, (w+1)*n/want).
+			if r.start != r.worker*64/want || r.end != (r.worker+1)*64/want {
+				t.Fatalf("workers=%d: shard [%d,%d) tagged worker %d", workers, r.start, r.end, r.worker)
+			}
+			if r.elapsed < 0 {
+				t.Fatalf("negative shard duration %v", r.elapsed)
+			}
+			next = r.end
+		}
+		if next != 64 {
+			t.Fatalf("workers=%d: shards cover up to %d, want 64", workers, next)
+		}
+	}
+}
+
+// TestRangesObservedErrorStillReports: a failing shard is still reported
+// (the observer sees the attempt), and the error surfaces unchanged.
+func TestRangesObservedErrorStillReports(t *testing.T) {
+	t.Parallel()
+	log := &shardLog{}
+	boom := errors.New("boom")
+	err := RangesObserved(context.Background(), 4, 16, func(start, end int) error {
+		if start == 0 {
+			return boom
+		}
+		return nil
+	}, log)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if len(log.reports) != 4 {
+		t.Fatalf("%d reports, want 4", len(log.reports))
+	}
+}
+
+// TestRangesObservedNilObserverIsRanges: the nil-observer path must be
+// byte-for-byte the historical Ranges behaviour.
+func TestRangesObservedNilObserverIsRanges(t *testing.T) {
+	t.Parallel()
+	var visited atomic.Int64
+	if err := RangesObserved(context.Background(), 4, 32, func(start, end int) error {
+		visited.Add(int64(end - start))
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != 32 {
+		t.Errorf("visited %d, want 32", visited.Load())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"darkcrowd/internal/obs"
 	"darkcrowd/internal/par"
 )
 
@@ -44,6 +45,11 @@ type EMConfig struct {
 	// so sub-1.6-zone splits are artefacts, not separate regions.
 	// Defaults to 1.6.
 	MergeRadius float64
+	// Obs, when non-nil, receives the EM diagnostics (per-k iteration
+	// counts, convergence flags, BIC scores, the selected k and the final
+	// log-likelihood). Observation only: the fitted model is identical
+	// with or without it.
+	Obs *obs.Observer
 	// Parallelism is the number of workers SelectMixture uses to run the
 	// per-k EM fits concurrently: 0 uses every core (GOMAXPROCS), 1 forces
 	// the sequential path. Each fit is deterministic and the BIC winner is
@@ -77,12 +83,18 @@ func (c EMConfig) withDefaults() EMConfig {
 	return c
 }
 
-// EMResult is the outcome of one EM run.
+// EMResult is the outcome of one EM run. LogLikelihood and BIC always
+// describe Mixture — the model actually returned — not an intermediate
+// iterate.
 type EMResult struct {
 	Mixture       Mixture
 	LogLikelihood float64
 	Iterations    int
 	BIC           float64
+	// Converged reports whether EM stopped on its own (log-likelihood
+	// improvement below Tol, or a clamping-induced decrease) rather than
+	// by hitting MaxIter.
+	Converged bool
 }
 
 // FitMixtureEM runs EM with exactly k components on the samples (positions
@@ -106,68 +118,134 @@ func FitMixtureEM(samples []float64, k int, cfg EMConfig) (EMResult, error) {
 		resp[i] = make([]float64, k)
 	}
 
+	// The loop is structured E-then-M with the stopping test *between*
+	// them, so the log-likelihood used for the stopping decision — and
+	// ultimately reported — is always the one of the parameters it was
+	// evaluated on. (The historical bug: the loop ran E,M,test and then
+	// reported the pre-M-step likelihood for the post-M-step mixture.)
+	// The best-evaluated iterate is snapshotted because MinSigma/MaxSigma
+	// clamping can make an M-step *decrease* the likelihood; on such a
+	// decrease EM stops and the better earlier iterate is returned.
+	best := make(Mixture, k)
+	bestLL := math.Inf(-1)
 	prevLL := math.Inf(-1)
-	var iter int
-	var ll float64
-	for iter = 0; iter < cfg.MaxIter; iter++ {
-		// E-step.
-		ll = 0
-		for i, x := range samples {
-			var total float64
-			for j, g := range mix {
-				p := g.Weight * g.WrappedPDF(x, cfg.Period)
-				resp[i][j] = p
-				total += p
-			}
-			if total <= 0 {
-				// Degenerate point: spread responsibility uniformly.
-				for j := range resp[i] {
-					resp[i][j] = 1 / float64(k)
-				}
-				total = 1e-300
-			} else {
-				for j := range resp[i] {
-					resp[i][j] /= total
-				}
-			}
-			ll += math.Log(total)
+	converged := false
+	iters := 0
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		iters = iter + 1
+		// E-step: responsibilities and log-likelihood of the current mix.
+		ll := eStep(samples, mix, resp, cfg.Period)
+		if ll >= bestLL {
+			bestLL = ll
+			copy(best, mix)
 		}
-
-		// M-step.
-		for j := range mix {
-			var rsum, sinSum, cosSum float64
-			for i, x := range samples {
-				r := resp[i][j]
-				rsum += r
-				theta := 2 * math.Pi * x / cfg.Period
-				sinSum += r * math.Sin(theta)
-				cosSum += r * math.Cos(theta)
+		if iter > 0 {
+			delta := ll - prevLL
+			if delta < 0 {
+				// Clamping pushed the likelihood down: EM has left the
+				// monotone regime, further iterations cannot be trusted to
+				// improve. Stop and keep the best iterate seen.
+				converged = true
+				break
 			}
-			if rsum <= 0 {
-				continue
+			if delta < cfg.Tol {
+				converged = true
+				break
 			}
-			mu := math.Atan2(sinSum, cosSum) * cfg.Period / (2 * math.Pi)
-			mu = math.Mod(mu+cfg.Period, cfg.Period)
-			var varSum float64
-			for i, x := range samples {
-				d := CircularDiff(x, mu, cfg.Period)
-				varSum += resp[i][j] * d * d
-			}
-			sigma := math.Sqrt(varSum / rsum)
-			sigma = math.Min(math.Max(sigma, cfg.MinSigma), cfg.MaxSigma)
-			mix[j] = Gaussian{Weight: rsum / float64(n), Mean: mu, Sigma: sigma}
-		}
-
-		if ll-prevLL < cfg.Tol && iter > 0 {
-			break
 		}
 		prevLL = ll
+
+		// M-step: re-estimate parameters from the responsibilities.
+		mStep(samples, mix, resp, cfg)
 	}
 
+	bic := bicScore(k, n, bestLL)
+	sortMixture(best)
+	return EMResult{Mixture: best, LogLikelihood: bestLL, Iterations: iters, BIC: bic, Converged: converged}, nil
+}
+
+// eStep fills resp with the posterior responsibilities of each component
+// for each sample and returns the samples' log-likelihood under mix.
+func eStep(samples []float64, mix Mixture, resp [][]float64, period float64) float64 {
+	k := len(mix)
+	ll := 0.0
+	for i, x := range samples {
+		var total float64
+		for j, g := range mix {
+			p := g.Weight * g.WrappedPDF(x, period)
+			resp[i][j] = p
+			total += p
+		}
+		if total <= 0 {
+			// Degenerate point: spread responsibility uniformly.
+			for j := range resp[i] {
+				resp[i][j] = 1 / float64(k)
+			}
+			total = 1e-300
+		} else {
+			for j := range resp[i] {
+				resp[i][j] /= total
+			}
+		}
+		ll += math.Log(total)
+	}
+	return ll
+}
+
+// mStep re-estimates mix in place from the responsibilities, clamping
+// component widths to [MinSigma, MaxSigma].
+func mStep(samples []float64, mix Mixture, resp [][]float64, cfg EMConfig) {
+	n := len(samples)
+	for j := range mix {
+		var rsum, sinSum, cosSum float64
+		for i, x := range samples {
+			r := resp[i][j]
+			rsum += r
+			theta := 2 * math.Pi * x / cfg.Period
+			sinSum += r * math.Sin(theta)
+			cosSum += r * math.Cos(theta)
+		}
+		if rsum <= 0 {
+			continue
+		}
+		mu := math.Atan2(sinSum, cosSum) * cfg.Period / (2 * math.Pi)
+		mu = math.Mod(mu+cfg.Period, cfg.Period)
+		var varSum float64
+		for i, x := range samples {
+			d := CircularDiff(x, mu, cfg.Period)
+			varSum += resp[i][j] * d * d
+		}
+		sigma := math.Sqrt(varSum / rsum)
+		sigma = math.Min(math.Max(sigma, cfg.MinSigma), cfg.MaxSigma)
+		mix[j] = Gaussian{Weight: rsum / float64(n), Mean: mu, Sigma: sigma}
+	}
+}
+
+// MixtureLogLikelihood returns the total log-likelihood of the samples
+// under the mixture on the circular domain — the quantity EM maximizes
+// and BIC penalizes. Degenerate zero-density points contribute log(1e-300)
+// exactly as the EM loop counts them.
+func MixtureLogLikelihood(samples []float64, mix Mixture, period float64) float64 {
+	ll := 0.0
+	for _, x := range samples {
+		var total float64
+		for _, g := range mix {
+			total += g.Weight * g.WrappedPDF(x, period)
+		}
+		if total <= 0 {
+			total = 1e-300
+		}
+		ll += math.Log(total)
+	}
+	return ll
+}
+
+// bicScore is the Bayesian Information Criterion for a k-component
+// circular mixture on n samples: each component carries a mean and a
+// sigma, plus k-1 free weights.
+func bicScore(k, n int, ll float64) float64 {
 	params := float64(3*k - 1)
-	bic := params*math.Log(float64(n)) - 2*ll
-	sortMixture(mix)
-	return EMResult{Mixture: mix, LogLikelihood: ll, Iterations: iter + 1, BIC: bic}, nil
+	return params*math.Log(float64(n)) - 2*ll
 }
 
 // SelectMixture fits mixtures with 1..maxK components and returns the one
@@ -175,6 +253,12 @@ func FitMixtureEM(samples []float64, k int, cfg EMConfig) (EMResult, error) {
 // merging components closer than one zone. This reproduces the paper's
 // uncovering of "the different number of regions per crowd given by the
 // number of different Gaussian curves" (§IV-B).
+//
+// The returned LogLikelihood and BIC describe the *tidied* mixture — the
+// model the caller actually receives — recomputed after pruning and
+// merging. (Model selection itself compares the raw per-k fits: tidying
+// changes the component count, so comparing tidied scores against raw
+// ones would bias the search.)
 //
 // The per-k EM runs are independent, so they execute on cfg.Parallelism
 // workers; every run is deterministic and the winner is picked by scanning
@@ -192,8 +276,16 @@ func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) 
 	if kMax < 1 {
 		return EMResult{}, ErrEmptyInput
 	}
+	o := cfg.Obs.Stage("em-select")
+	defer o.End()
+	o.SetWorkers(par.Workers(cfg.Parallelism, kMax))
+	// A typed-nil *Span must not become a non-nil ShardObserver.
+	var so par.ShardObserver
+	if sp := o.SpanRef(); sp != nil {
+		so = sp
+	}
 	results := make([]EMResult, kMax)
-	err := par.Ranges(nil, cfg.Parallelism, kMax, func(start, end int) error {
+	err := par.RangesObserved(nil, cfg.Parallelism, kMax, func(start, end int) error {
 		for i := start; i < end; i++ {
 			res, err := FitMixtureEM(samples, i+1, cfg)
 			if err != nil {
@@ -202,7 +294,7 @@ func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) 
 			results[i] = res
 		}
 		return nil
-	})
+	}, so)
 	if err != nil {
 		return EMResult{}, err
 	}
@@ -212,7 +304,37 @@ func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) 
 			best = res
 		}
 	}
+	rawK := len(best.Mixture)
 	best.Mixture = tidyMixture(best.Mixture, cfg)
+	// Pruning/merging changed the model, so its reported score must be
+	// recomputed; the BIC the caller sees always describes best.Mixture.
+	best.LogLikelihood = MixtureLogLikelihood(samples, best.Mixture, cfg.Period)
+	best.BIC = bicScore(len(best.Mixture), len(samples), best.LogLikelihood)
+	if o.Enabled() {
+		for i, res := range results {
+			prefix := fmt.Sprintf("em.k%d.", i+1)
+			o.Gauge(prefix + "iterations").Set(int64(res.Iterations))
+			conv := int64(0)
+			if res.Converged {
+				conv = 1
+			}
+			o.Gauge(prefix + "converged").Set(conv)
+			o.FloatGauge(prefix + "bic").Set(res.BIC)
+			o.FloatGauge(prefix + "log_likelihood").Set(res.LogLikelihood)
+		}
+		o.Gauge("em.selected_raw_k").Set(int64(rawK))
+		o.Gauge("em.selected_k").Set(int64(len(best.Mixture)))
+		o.Gauge("em.selected_iterations").Set(int64(best.Iterations))
+		conv := int64(0)
+		if best.Converged {
+			conv = 1
+		}
+		o.Gauge("em.selected_converged").Set(conv)
+		o.FloatGauge("em.final_log_likelihood").Set(best.LogLikelihood)
+		o.FloatGauge("em.final_bic").Set(best.BIC)
+		o.Eventf("em-select", "model selected",
+			"raw_k", rawK, "k", len(best.Mixture), "iterations", best.Iterations, "converged", best.Converged)
+	}
 	return best, nil
 }
 
@@ -267,6 +389,31 @@ func initComponents(samples []float64, k int, cfg EMConfig) Mixture {
 			means = append(means, float64(p.bin))
 		}
 	}
+	// Fallback for histograms with fewer than k well-separated peaks:
+	// evenly spaced candidates, *skipping positions that collide with an
+	// already-picked mean* — a colliding fallback would seed two
+	// near-duplicate components that EM then has to disentangle (or
+	// worse, returns as a split artefact). Candidates are tried at even
+	// spacing first, then at successively offset sub-grids, so the k
+	// means stay as spread out as the occupied circle allows.
+	for _, phase := range []float64{0, 0.5, 0.25, 0.75} {
+		for i := 0; i < k && len(means) < k; i++ {
+			cand := cfg.Period * (float64(i) + phase) / float64(k)
+			collides := false
+			for _, m := range means {
+				if math.Abs(CircularDiff(cand, m, cfg.Period)) < minSep {
+					collides = true
+					break
+				}
+			}
+			if !collides {
+				means = append(means, cand)
+			}
+		}
+	}
+	// Degenerate geometry (the whole circle within minSep of picked
+	// means) cannot happen for minSep <= Period/(2k), but guarantee k
+	// means regardless.
 	for i := len(means); i < k; i++ {
 		means = append(means, cfg.Period*float64(i)/float64(k))
 	}
