@@ -15,8 +15,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -25,11 +27,13 @@ import (
 	"time"
 
 	"darkcrowd"
+	"darkcrowd/internal/atomicio"
 	"darkcrowd/internal/core/geoloc"
 	"darkcrowd/internal/core/profile"
 	"darkcrowd/internal/crawler"
 	"darkcrowd/internal/forum"
 	"darkcrowd/internal/obs"
+	"darkcrowd/internal/pipeline"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
@@ -180,13 +184,12 @@ func loadTrace(path string) (*trace.Dataset, error) {
 	return trace.ReadCSV(path, fh)
 }
 
+// saveTrace writes the dataset atomically: the output path never holds a
+// torn CSV, even if the process dies mid-write.
 func saveTrace(ds *trace.Dataset, path string) error {
-	fh, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("create trace: %w", err)
-	}
-	defer fh.Close()
-	return ds.WriteCSV(fh)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return ds.WriteCSV(w)
+	})
 }
 
 // reference builds the generic profile from a fresh synthetic Twitter
@@ -312,12 +315,7 @@ func cmdReference(args []string) error {
 		PerRegion:   gen.PerRegion,
 		ActiveUsers: gen.ActiveUsers,
 	}
-	fh, err := os.Create(*out)
-	if err != nil {
-		return fmt.Errorf("create reference: %w", err)
-	}
-	defer fh.Close()
-	if err := ref.WriteJSON(fh); err != nil {
+	if err := atomicio.WriteFile(*out, ref.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d regions)\n", *out, len(ref.PerRegion))
@@ -333,6 +331,10 @@ func cmdGeolocate(args []string) error {
 	minPosts := fs.Int("min-posts", profile.DefaultMinPosts, "active-user threshold")
 	skipPolish := fs.Bool("skip-polish", false, "skip flat-profile removal")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores, 1 = sequential); output is identical for every setting")
+	lenient := fs.Bool("lenient", false, "quarantine malformed trace rows instead of failing (report on stderr)")
+	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient, fail after this many bad rows (0 = unlimited)")
+	ckpt := fs.String("checkpoint", "", "stage checkpoint file: an interrupted run resumes from it (empty = off)")
+	outPath := fs.String("out", "", "also write the full geolocation result as JSON to this path")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -342,70 +344,63 @@ func cmdGeolocate(args []string) error {
 		return err
 	}
 	defer finish()
-	lo := o.Stage("load-trace")
-	ds, err := loadTrace(*in)
-	if err != nil {
-		lo.End()
-		return err
+	cfg := pipeline.Config{
+		TracePath:      *in,
+		Lenient:        *lenient,
+		MaxBadRows:     *maxBadRows,
+		MinPosts:       *minPosts,
+		SkipPolish:     *skipPolish,
+		Workers:        *workers,
+		CheckpointPath: *ckpt,
+		Obs:            o,
 	}
-	lo.AddItems(int64(ds.NumPosts()))
-	lo.Counter("trace.posts_loaded").Add(int64(ds.NumPosts()))
-	lo.End()
-	var gen *profile.GenericResult
-	ro := o.Stage("reference")
 	if *refPath != "" {
-		fh, err := os.Open(*refPath)
-		if err != nil {
-			ro.End()
-			return fmt.Errorf("open reference: %w", err)
-		}
-		ref, err := darkcrowd.ReadReference(fh)
-		fh.Close()
-		if err != nil {
-			ro.End()
-			return err
-		}
-		gen = &profile.GenericResult{
-			Generic:     ref.Generic,
-			PerRegion:   ref.PerRegion,
-			ActiveUsers: ref.ActiveUsers,
+		cfg.ReferenceID = "file:" + *refPath
+		cfg.Reference = func() (*profile.GenericResult, error) {
+			fh, err := os.Open(*refPath)
+			if err != nil {
+				return nil, fmt.Errorf("open reference: %w", err)
+			}
+			defer fh.Close()
+			ref, err := darkcrowd.ReadReference(fh)
+			if err != nil {
+				return nil, err
+			}
+			return &profile.GenericResult{
+				Generic:     ref.Generic,
+				PerRegion:   ref.PerRegion,
+				ActiveUsers: ref.ActiveUsers,
+			}, nil
 		}
 	} else {
-		gen, err = reference(*seed, *scale, *workers)
-		if err != nil {
-			ro.End()
-			return err
+		cfg.ReferenceID = fmt.Sprintf("synth:seed=%d,scale=%d", *seed, *scale)
+		cfg.Reference = func() (*profile.GenericResult, error) {
+			return reference(*seed, *scale, *workers)
 		}
 	}
-	ro.End()
-	profiles, err := profile.BuildUserProfiles(ds, profile.BuildOptions{MinPosts: *minPosts, Parallelism: *workers, Obs: o})
+	res, err := pipeline.Geolocate(cfg)
 	if err != nil {
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "geolocation interrupted; rerun with -checkpoint %s to resume\n", *ckpt)
+		}
 		return err
 	}
-	if !*skipPolish {
-		po := o.Stage("polish")
-		polished, err := profile.Polish(profiles, gen.Generic, true)
-		if err != nil {
-			po.End()
-			return err
-		}
-		if len(polished.Removed) > 0 {
-			fmt.Printf("polishing removed %d flat profile(s)\n", len(polished.Removed))
-		}
-		profiles = polished.Kept
-		po.AddItems(int64(len(polished.Kept)))
-		po.Counter("polish.users_kept").Add(int64(len(polished.Kept)))
-		po.Counter("polish.users_removed").Add(int64(len(polished.Removed)))
-		po.End()
+	// Diagnostics go to stderr so a resumed run's stdout stays
+	// byte-identical to a clean run's.
+	if res.Quarantine != nil && !res.Quarantine.Empty() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", res.Quarantine)
 	}
-	geo, err := geoloc.Geolocate(profiles, gen.Generic, geoloc.GeolocateOptions{
-		Place: geoloc.PlaceOptions{Parallelism: *workers},
-		Obs:   o,
-	})
-	if err != nil {
-		return err
+	for _, stage := range res.Restored {
+		fmt.Fprintf(os.Stderr, "resumed %s from checkpoint\n", stage)
 	}
-	fmt.Printf("placement of %d active users across the 24 time zones:\n", len(profiles))
+	geo := res.Geo
+	if geo.Degraded != "" {
+		fmt.Fprintf(os.Stderr, "warning: serving a degraded mixture fit (%s)\n", geo.Degraded)
+	}
+	if res.PolishRemoved > 0 {
+		fmt.Printf("polishing removed %d flat profile(s)\n", res.PolishRemoved)
+	}
+	fmt.Printf("placement of %d active users across the 24 time zones:\n", res.ActiveUsers)
 	for zi, share := range geo.Placement.Histogram {
 		if share == 0 {
 			continue
@@ -417,6 +412,16 @@ func cmdGeolocate(args []string) error {
 		fmt.Printf("  %d. %s\n", i+1, comp)
 	}
 	fmt.Printf("fit quality: avg %.4f, std %.4f\n", geo.AvgDistance, geo.StdDistance)
+	if *outPath != "" {
+		data, err := json.MarshalIndent(geo, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode result: %w", err)
+		}
+		if err := atomicio.WriteFileBytes(*outPath, append(data, '\n')); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
 	return nil
 }
 

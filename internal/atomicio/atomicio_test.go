@@ -1,0 +1,150 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// noLeftovers fails the test if the directory holds anything besides the
+// expected destination files — in particular, no orphaned temp files.
+func noLeftovers(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := make(map[string]bool, len(want))
+	for _, w := range want {
+		expected[w] = true
+	}
+	for _, e := range entries {
+		if !expected[e.Name()] {
+			t.Errorf("leftover file %q in %s", e.Name(), dir)
+		}
+	}
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := WriteFileBytes(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content after replace = %q", got)
+	}
+	noLeftovers(t, dir, "out.json")
+}
+
+// TestWriteFileWriterErrorKeepsPrevious: an error from the write callback
+// must leave the previous content untouched and remove the temp file.
+func TestWriteFileWriterErrorKeepsPrevious(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encoder exploded")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half-written garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped encoder error", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "stable" {
+		t.Fatalf("previous content lost: %q", got)
+	}
+	noLeftovers(t, dir, "out.json")
+}
+
+// TestWriteFileHookFailsEveryStep: whichever step the hook fails, the
+// destination is never partial — it keeps its previous complete content —
+// and no temp file survives.
+func TestWriteFileHookFailsEveryStep(t *testing.T) {
+	t.Parallel()
+	for _, failOp := range []string{OpCreate, OpWrite, OpClose, OpRename} {
+		failOp := failOp
+		t.Run(failOp, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := WriteFileBytes(path, []byte("previous")); err != nil {
+				t.Fatal(err)
+			}
+			injected := fmt.Errorf("injected %s fault", failOp)
+			hook := func(op, p string) error {
+				if op == failOp {
+					return injected
+				}
+				return nil
+			}
+			err := WriteFileHooked(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, "replacement")
+				return err
+			}, hook)
+			if !errors.Is(err, injected) {
+				t.Fatalf("got %v, want injected fault", err)
+			}
+			if !strings.Contains(err.Error(), failOp) {
+				t.Errorf("error %q does not name the failing op %s", err, failOp)
+			}
+			if got, _ := os.ReadFile(path); string(got) != "previous" {
+				t.Fatalf("after %s fault, content = %q, want previous", failOp, got)
+			}
+			noLeftovers(t, dir, "out.json")
+		})
+	}
+}
+
+// TestWriteFileHookSeesOpsInOrder: the hook observes the full step
+// sequence of a successful write.
+func TestWriteFileHookSeesOpsInOrder(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var ops []string
+	err := WriteFileHooked(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}, func(op, p string) error {
+		if p != path {
+			t.Errorf("hook saw path %q, want %q", p, path)
+		}
+		ops = append(ops, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{OpCreate, OpWrite, OpClose, OpRename}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestWriteFileMissingDirectoryFails(t *testing.T) {
+	t.Parallel()
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no-such-dir", "out"), []byte("x"))
+	if err == nil {
+		t.Fatal("write into a missing directory should fail")
+	}
+}

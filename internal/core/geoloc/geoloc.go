@@ -279,6 +279,11 @@ type Geolocation struct {
 	AvgDistance, StdDistance float64
 	// BIC is the selected model's Bayesian Information Criterion.
 	BIC float64
+	// Degraded is empty for a healthy mixture fit; otherwise it carries the
+	// stats degradation reason (non-convergence, degenerate component). A
+	// degraded geolocation is still the best available estimate — callers
+	// should surface the reason as a warning rather than discard the result.
+	Degraded string `json:",omitempty"`
 }
 
 // GeolocateOptions configures Geolocate.
@@ -296,7 +301,9 @@ type GeolocateOptions struct {
 
 // Geolocate runs the full §IV-B pipeline on a polished set of user
 // profiles: EMD placement, then EM-fitted Gaussian mixture with BIC model
-// selection, then the Table II fit-quality metrics.
+// selection, then the Table II fit-quality metrics. It is exactly
+// PlaceUsers followed by FitPlacement; the split exists so a checkpointing
+// pipeline can resume between the two expensive stages.
 func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opts GeolocateOptions) (*Geolocation, error) {
 	if opts.Place.Obs == nil {
 		opts.Place.Obs = opts.Obs
@@ -305,6 +312,14 @@ func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opt
 	if err != nil {
 		return nil, err
 	}
+	return FitPlacement(placement, opts)
+}
+
+// FitPlacement runs the model-fitting half of Geolocate on an existing
+// placement: EM mixture selection with BIC, then the Table II fit-quality
+// metrics. The placement may come from a fresh PlaceUsers run or from a
+// stage checkpoint — the result is identical either way.
+func FitPlacement(placement *Placement, opts GeolocateOptions) (*Geolocation, error) {
 	if opts.MaxComponents == 0 {
 		opts.MaxComponents = 4
 	}
@@ -343,6 +358,7 @@ func Geolocate(profiles map[string]profile.Profile, generic profile.Profile, opt
 		AvgDistance: avg,
 		StdDistance: std,
 		BIC:         res.BIC,
+		Degraded:    res.Degraded,
 	}, nil
 }
 

@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
-	"path/filepath"
 	"time"
 
+	"darkcrowd/internal/atomicio"
 	"darkcrowd/internal/trace"
 )
 
@@ -69,31 +69,15 @@ func loadCheckpoint(path, datasetName, baseURL string) (*checkpoint, error) {
 	return &ck, nil
 }
 
-// save writes the snapshot atomically (temp file + rename) so a crash
-// mid-save leaves the previous snapshot intact.
+// save writes the snapshot atomically (temp file + rename via atomicio)
+// so a crash mid-save leaves the previous snapshot intact.
 func (ck *checkpoint) save(path string) error {
 	data, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("crawler: encode checkpoint: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
-	if err != nil {
-		return fmt.Errorf("crawler: checkpoint temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("crawler: write checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("crawler: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("crawler: install checkpoint: %w", err)
+	if err := atomicio.WriteFileBytes(path, data); err != nil {
+		return fmt.Errorf("crawler: save checkpoint: %w", err)
 	}
 	return nil
 }

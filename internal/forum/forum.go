@@ -140,19 +140,21 @@ func New(cfg Config) *Forum {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	// The Reception board and Welcome thread are built directly, before
+	// the forum is published to any other goroutine: construction cannot
+	// fail, so it never has to panic.
+	welcome := &Board{ID: 1, Name: "Reception", Description: "Introductions, rules, and the Welcome thread"}
+	th := &Thread{ID: 1, BoardID: welcome.ID, Title: WelcomeThreadTitle}
 	f := &Forum{
 		cfg:        cfg,
 		members:    make(map[string]*Member),
-		threads:    make(map[int]*Thread),
+		boards:     []*Board{welcome},
+		threads:    map[int]*Thread{th.ID: th},
 		posts:      make(map[int][]*Post),
-		nextMember: 1, nextBoard: 1, nextThread: 1, nextPost: 1,
+		nextMember: 1, nextBoard: 2, nextThread: 2, nextPost: 1,
+
+		welcomeThread: th.ID,
 	}
-	welcome := f.mustAddBoard("Reception", "Introductions, rules, and the Welcome thread")
-	th, err := f.NewThread(welcome.ID, WelcomeThreadTitle)
-	if err != nil { // cannot happen: the board was just created
-		panic(fmt.Sprintf("forum: create welcome thread: %v", err))
-	}
-	f.welcomeThread = th.ID
 	return f
 }
 
@@ -198,14 +200,6 @@ func ParseDisplayedTime(s string) (time.Time, error) {
 		return time.Time{}, fmt.Errorf("forum: parse displayed time %q: %w", s, err)
 	}
 	return t, nil
-}
-
-func (f *Forum) mustAddBoard(name, desc string) *Board {
-	b, err := f.AddBoard(name, desc)
-	if err != nil {
-		panic(fmt.Sprintf("forum: add board %q: %v", name, err))
-	}
-	return b
 }
 
 // AddBoard creates a new board.

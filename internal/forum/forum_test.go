@@ -44,6 +44,39 @@ func TestNewForumHasWelcomeThread(t *testing.T) {
 	}
 }
 
+// TestNewNeverPanicsAndNumbersFromBuiltins: construction is infallible —
+// no config, however degenerate, can panic it — and the built-in
+// Reception board and Welcome thread occupy ID 1, with later additions
+// numbered after them exactly as when construction went through the
+// locked AddBoard/NewThread path.
+func TestNewNeverPanicsAndNumbersFromBuiltins(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []Config{{}, {PageSize: -3}, {Name: "", FailEvery: -1}} {
+		f := New(cfg) // must not panic
+		if f.WelcomeThreadID() != 1 {
+			t.Errorf("welcome thread ID = %d, want 1", f.WelcomeThreadID())
+		}
+	}
+	f := newTestForum()
+	if got := f.Boards()[0].ID; got != 1 {
+		t.Errorf("Reception board ID = %d, want 1", got)
+	}
+	b, err := f.AddBoard("Market", "goods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 2 {
+		t.Errorf("first added board ID = %d, want 2", b.ID)
+	}
+	th, err := f.NewThread(b.ID, "opening")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.ID != 2 {
+		t.Errorf("first added thread ID = %d, want 2", th.ID)
+	}
+}
+
 func TestRegister(t *testing.T) {
 	t.Parallel()
 	f := newTestForum()

@@ -1,0 +1,164 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangesRecoversPanicToShardPanicError(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 4} {
+		err := Ranges(context.Background(), workers, 16, func(start, end int) error {
+			for i := start; i < end; i++ {
+				if i == 5 {
+					panic("poisoned item 5")
+				}
+			}
+			return nil
+		})
+		var pe *ShardPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v (%T), want *ShardPanicError", workers, err, err)
+		}
+		if pe.Value != "poisoned item 5" {
+			t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if !(pe.Start <= 5 && 5 < pe.End) {
+			t.Errorf("workers=%d: shard range [%d,%d) does not contain the poisoned item", workers, pe.Start, pe.End)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panic_test") {
+			t.Errorf("workers=%d: stack not captured:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(pe.Error(), "poisoned item 5") {
+			t.Errorf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+	}
+}
+
+// TestRangesPanicDoesNotStopOtherShards: a panicking shard is contained —
+// every other shard still runs to completion.
+func TestRangesPanicDoesNotStopOtherShards(t *testing.T) {
+	t.Parallel()
+	const n, workers = 64, 8
+	var visited atomic.Int64
+	err := Ranges(context.Background(), workers, n, func(start, end int) error {
+		if start == n/2 {
+			panic("mid shard down")
+		}
+		visited.Add(int64(end - start))
+		return nil
+	})
+	var pe *ShardPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *ShardPanicError", err)
+	}
+	if visited.Load() != n-n/workers {
+		t.Errorf("visited %d items, want %d (all shards but the panicking one)", visited.Load(), n-n/workers)
+	}
+}
+
+// TestRangesObservedPanicStillReportsOtherShards: panic containment
+// composes with the shard observer — surviving shards are still reported.
+func TestRangesObservedPanicStillReports(t *testing.T) {
+	t.Parallel()
+	log := &shardLog{}
+	err := RangesObserved(context.Background(), 4, 16, func(start, end int) error {
+		if start == 0 {
+			panic("first shard")
+		}
+		return nil
+	}, log)
+	var pe *ShardPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *ShardPanicError", err)
+	}
+	// Panic recovery happens inside the shard runner, before the observer
+	// call — so even the panicking shard is reported (the observer sees the
+	// attempt and its timing), alongside the three surviving shards.
+	if len(log.reports) != 4 {
+		t.Fatalf("%d shard reports, want 4", len(log.reports))
+	}
+}
+
+// TestRangesLowestShardFailureWinsProperty is the satellite property test:
+// for random item counts, worker counts and random mixtures of erroring and
+// panicking shards, the failure surfaced by Ranges is always the one of the
+// lowest-indexed failing shard — never a scheduling-dependent competitor.
+func TestRangesLowestShardFailureWinsProperty(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(20180614))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(97)
+		workers := 1 + rng.Intn(12)
+		w := Workers(workers, n)
+		// Decide each shard's fate: 0 = ok, 1 = error, 2 = panic.
+		fates := make([]int, w)
+		anyFail := false
+		for s := range fates {
+			fates[s] = rng.Intn(3)
+			if fates[s] != 0 {
+				anyFail = true
+			}
+		}
+		shardOf := func(start int) int {
+			for s := 0; s < w; s++ {
+				if start == s*n/w {
+					return s
+				}
+			}
+			t.Fatalf("trial %d: no shard starts at %d", trial, start)
+			return -1
+		}
+		err := Ranges(context.Background(), workers, n, func(start, end int) error {
+			s := shardOf(start)
+			switch fates[s] {
+			case 1:
+				return fmt.Errorf("shard %d error", s)
+			case 2:
+				panic(fmt.Sprintf("shard %d panic", s))
+			}
+			return nil
+		})
+		lowest := -1
+		for s, f := range fates {
+			// Empty shards never run, so they cannot fail.
+			if f != 0 && s*n/w < (s+1)*n/w {
+				lowest = s
+				break
+			}
+		}
+		if lowest == -1 {
+			if anyFail && err != nil {
+				// Every failing shard was empty: no failure can surface.
+				t.Fatalf("trial %d: error %v from empty shards", trial, err)
+			}
+			if err != nil {
+				t.Fatalf("trial %d: unexpected error %v", trial, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("trial %d (n=%d w=%d fates=%v): no error, want shard %d failure", trial, n, w, fates, lowest)
+		}
+		var pe *ShardPanicError
+		switch fates[lowest] {
+		case 1:
+			want := fmt.Sprintf("shard %d error", lowest)
+			if err.Error() != want {
+				t.Fatalf("trial %d (n=%d w=%d fates=%v): got %q, want %q", trial, n, w, fates, err, want)
+			}
+		case 2:
+			if !errors.As(err, &pe) {
+				t.Fatalf("trial %d: got %v, want panic error of shard %d", trial, err, lowest)
+			}
+			if want := fmt.Sprintf("shard %d panic", lowest); pe.Value != want {
+				t.Fatalf("trial %d (n=%d w=%d fates=%v): panic value %v, want %q", trial, n, w, fates, pe.Value, want)
+			}
+		}
+	}
+}

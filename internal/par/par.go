@@ -14,9 +14,36 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 )
+
+// ShardPanicError is the typed error a panicking worker shard is converted
+// to: the panic is recovered inside the worker goroutine, so one poisoned
+// item can no longer take down the whole process, and the caller gets the
+// shard's item range plus the panic value and stack for diagnosis.
+//
+// Panic conversion preserves the package's determinism contract: a panic
+// is just another shard error, so the lowest-indexed failing shard still
+// wins regardless of which worker happened to blow up first in wall-clock
+// time.
+type ShardPanicError struct {
+	// Start and End are the half-open item range of the shard that
+	// panicked.
+	Start, End int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace, captured at recover
+	// time.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *ShardPanicError) Error() string {
+	return fmt.Sprintf("par: panic in shard [%d,%d): %v", e.Start, e.End, e.Value)
+}
 
 // Workers resolves a Parallelism setting against an item count:
 //
@@ -53,9 +80,12 @@ type ShardObserver interface {
 //
 // The returned error is deterministic too: the error of the lowest-indexed
 // failing shard wins, whichever worker happened to fail first in wall-clock
-// time. If ctx is cancelled (and no shard reports its own error), the
-// context's error is returned; workers observe cancellation between items
-// via the fn contract below. A nil ctx means no cancellation.
+// time. A panic inside fn is recovered and reported as a *ShardPanicError
+// for that shard, competing in the same lowest-shard-wins selection — a
+// poisoned item never takes down the process. If ctx is cancelled (and no
+// shard reports its own error), the context's error is returned; workers
+// observe cancellation between items via the fn contract below. A nil ctx
+// means no cancellation.
 //
 // With workers <= 1 (or n <= 1) fn runs inline on the calling goroutine —
 // the sequential path and the parallel path execute the exact same code.
@@ -74,12 +104,24 @@ func RangesObserved(ctx context.Context, workers, n int, fn func(start, end int)
 		return ctxErr(ctx)
 	}
 	workers = Workers(workers, n)
+	// guarded runs one shard with panic containment: a panic anywhere in
+	// fn (or, on the observed path, in the observer) becomes a typed
+	// *ShardPanicError instead of unwinding past the pool. The recover sits
+	// in a dedicated frame so the unobserved fast path stays a plain call.
+	guarded := func(start, end int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &ShardPanicError{Start: start, End: end, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return fn(start, end)
+	}
 	shard := func(w, start, end int) error {
 		if so == nil {
-			return fn(start, end)
+			return guarded(start, end)
 		}
 		began := time.Now()
-		err := fn(start, end)
+		err := guarded(start, end)
 		so.ShardDone(w, start, end, time.Since(began))
 		return err
 	}

@@ -1,0 +1,357 @@
+// Package pipeline stages the geolocate pipeline end to end — trace
+// ingest, reference profile, per-user profile build, polish, EMD
+// placement, EM mixture selection — with two robustness layers the bare
+// library calls don't have:
+//
+//   - lenient ingest: malformed trace rows are quarantined into a
+//     structured report (under a bad-row budget) instead of killing a
+//     crawl's worth of work;
+//   - stage checkpoints: after each expensive stage the pipeline
+//     atomically saves everything computed so far, so an interrupted run
+//     resumes mid-pipeline and produces byte-identical final output.
+//
+// Every stage is deterministic, so a resumed run and a clean run agree
+// bit for bit: checkpoints are JSON, and Go's float64 JSON encoding
+// (shortest round-trip representation) restores every finite value
+// exactly.
+package pipeline
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"os"
+
+	"darkcrowd/internal/atomicio"
+	"darkcrowd/internal/core/geoloc"
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/obs"
+	"darkcrowd/internal/trace"
+)
+
+// Config parameterizes a staged geolocation run.
+type Config struct {
+	// TracePath is the input CSV trace.
+	TracePath string
+	// Lenient quarantines malformed trace rows instead of failing; the
+	// report lands in Result.Quarantine.
+	Lenient bool
+	// MaxBadRows bounds the quarantine in lenient mode (<= 0: unlimited).
+	MaxBadRows int
+	// Reference supplies the generic reference profile — built
+	// synthetically or loaded from a file; the pipeline only dictates
+	// when it runs and how it is checkpointed. Required.
+	Reference func() (*profile.GenericResult, error)
+	// ReferenceID names the reference source (e.g. "file:ref.json" or
+	// "synth:seed=2018,scale=40"). It is part of the checkpoint
+	// fingerprint: a checkpoint taken against one reference must not be
+	// resumed against another.
+	ReferenceID string
+	// MinPosts is the active-user threshold (0: profile.DefaultMinPosts).
+	MinPosts int
+	// SkipPolish disables flat-profile removal.
+	SkipPolish bool
+	// Workers sets the worker count for every parallel stage (0 = all
+	// cores). Output is identical for every setting, so it is NOT part of
+	// the checkpoint fingerprint — a checkpoint taken with 8 workers
+	// resumes fine with 1.
+	Workers int
+	// CheckpointPath enables stage checkpointing (empty = off). The file
+	// is rewritten atomically after each completed expensive stage.
+	CheckpointPath string
+	// Context, when non-nil, cancels the run between and inside stages.
+	Context context.Context
+	// Obs, when non-nil, receives the per-stage spans and metrics the
+	// unstaged pipeline emits, plus ingest.rows_quarantined and
+	// checkpoint restore events. Observation only.
+	Obs *obs.Observer
+	// CheckpointHook is the atomicio fault hook for checkpoint writes —
+	// nil in production, set by the chaos harness.
+	CheckpointHook atomicio.Hook
+	// Cells overrides the profile-build bucketing hook (nil = UTC cells).
+	// The chaos harness wraps it to inject worker panics mid-stage; the
+	// production CLI leaves it nil. It is not part of the checkpoint
+	// fingerprint, so overrides that change the output must not share a
+	// checkpoint with runs that don't.
+	Cells profile.CellOf
+}
+
+// Result is the outcome of a staged geolocation run.
+type Result struct {
+	// Dataset is the ingested (possibly quarantine-filtered) trace.
+	Dataset *trace.Dataset
+	// Quarantine is the lenient-mode report; nil in strict mode.
+	Quarantine *trace.QuarantineReport
+	// ActiveUsers counts the profiles that reached placement.
+	ActiveUsers int
+	// PolishRemoved counts flat profiles dropped by polishing.
+	PolishRemoved int
+	// Geo is the geolocation: placement, mixture, components, metrics.
+	Geo *geoloc.Geolocation
+	// Restored lists the stages that came from the checkpoint instead of
+	// being recomputed, in pipeline order.
+	Restored []string
+}
+
+// checkpointVersion guards the on-disk format; bump it when the layout
+// changes so stale snapshots fail loudly instead of resuming garbage.
+const checkpointVersion = 1
+
+// checkpoint is the cumulative snapshot of a staged run: each field is
+// nil until its stage completes, and the whole struct is rewritten
+// atomically after every completed stage. All stage outputs are pure
+// functions of the fingerprinted inputs, so restoring any prefix of them
+// yields the same final output as recomputing it.
+type checkpoint struct {
+	Version     int                        `json:"version"`
+	Fingerprint string                     `json:"fingerprint"`
+	Reference   *profile.GenericResult     `json:"reference,omitempty"`
+	Profiles    map[string]profile.Profile `json:"profiles,omitempty"`
+	Placement   *geoloc.Placement          `json:"placement,omitempty"`
+	Geo         *geoloc.Geolocation        `json:"geo,omitempty"`
+}
+
+// fingerprint digests everything the pipeline's output depends on: the
+// full post sequence (user IDs and timestamps), the reference identity,
+// and the stage settings. Worker counts are deliberately excluded — the
+// output is identical for every parallelism setting.
+func fingerprint(ds *trace.Dataset, cfg Config) string {
+	h := fnv.New64a()
+	io.WriteString(h, ds.Name)
+	var buf [8]byte
+	for _, p := range ds.Posts {
+		io.WriteString(h, p.UserID)
+		buf[0] = 0
+		h.Write(buf[:1])
+		binary.LittleEndian.PutUint64(buf[:], uint64(p.Time.UnixNano()))
+		h.Write(buf[:])
+	}
+	fmt.Fprintf(h, "|ref=%s|minposts=%d|polish=%v", cfg.ReferenceID, cfg.MinPosts, cfg.SkipPolish)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// loadCheckpoint reads a snapshot, returning (nil, nil) when none exists
+// yet. A snapshot for different inputs or settings is an error, not a
+// silent fresh start: resuming the wrong run corrupts the result.
+func loadCheckpoint(path, fp string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: read checkpoint %s: %w", path, err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("pipeline: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("pipeline: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.Fingerprint != fp {
+		return nil, fmt.Errorf("pipeline: checkpoint %s was taken for different inputs or settings (fingerprint %s, want %s); delete it to start over",
+			path, ck.Fingerprint, fp)
+	}
+	return &ck, nil
+}
+
+// Geolocate runs the staged pipeline. The stage names and metrics it
+// emits are exactly those of the unstaged CLI path (load-trace,
+// reference, profile-build, polish, placement, em-select), so dashboards
+// and the -trace tree are unaffected by the staging.
+func Geolocate(cfg Config) (*Result, error) {
+	if cfg.Reference == nil {
+		return nil, errors.New("pipeline: Config.Reference is required")
+	}
+	o := cfg.Obs
+	canceled := func() error {
+		if cfg.Context == nil {
+			return nil
+		}
+		return cfg.Context.Err()
+	}
+
+	lo := o.Stage("load-trace")
+	fh, err := os.Open(cfg.TracePath)
+	if err != nil {
+		lo.End()
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	ds, quarantine, err := trace.ReadCSVOpts(cfg.TracePath, fh, trace.ReadCSVOptions{
+		Lenient:    cfg.Lenient,
+		MaxBadRows: cfg.MaxBadRows,
+	})
+	fh.Close()
+	if err != nil {
+		lo.End()
+		return nil, err
+	}
+	lo.AddItems(int64(ds.NumPosts()))
+	lo.Counter("trace.posts_loaded").Add(int64(ds.NumPosts()))
+	if quarantine != nil {
+		lo.Counter("ingest.rows_quarantined").Add(int64(quarantine.BadRows))
+		if !quarantine.Empty() {
+			lo.Eventf("load-trace", "quarantined malformed rows", "bad_rows", quarantine.BadRows)
+		}
+	}
+	lo.End()
+	res := &Result{Dataset: ds, Quarantine: quarantine}
+
+	fp := fingerprint(ds, cfg)
+	var ck *checkpoint
+	if cfg.CheckpointPath != "" {
+		ck, err = loadCheckpoint(cfg.CheckpointPath, fp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ck == nil {
+		ck = &checkpoint{Version: checkpointVersion, Fingerprint: fp}
+	}
+	save := func() error {
+		if cfg.CheckpointPath == "" {
+			return nil
+		}
+		data, err := json.Marshal(ck)
+		if err != nil {
+			return fmt.Errorf("pipeline: encode checkpoint: %w", err)
+		}
+		err = atomicio.WriteFileHooked(cfg.CheckpointPath, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		}, cfg.CheckpointHook)
+		if err != nil {
+			return fmt.Errorf("pipeline: save checkpoint: %w", err)
+		}
+		return nil
+	}
+	restored := func(so *obs.Observer, stage string) {
+		res.Restored = append(res.Restored, stage)
+		so.Eventf(stage, "restored from checkpoint")
+	}
+
+	if err := canceled(); err != nil {
+		return nil, err
+	}
+	ro := o.Stage("reference")
+	var gen *profile.GenericResult
+	if ck.Reference != nil {
+		gen = ck.Reference
+		restored(ro, "reference")
+	} else {
+		gen, err = cfg.Reference()
+		if err != nil {
+			ro.End()
+			return nil, err
+		}
+		// The pipeline only ever consults the aggregate profiles; dropping
+		// the per-user map keeps synthetic-reference checkpoints small.
+		ck.Reference = &profile.GenericResult{
+			Generic:     gen.Generic,
+			PerRegion:   gen.PerRegion,
+			ActiveUsers: gen.ActiveUsers,
+		}
+		if err := save(); err != nil {
+			ro.End()
+			return nil, err
+		}
+	}
+	ro.End()
+
+	if err := canceled(); err != nil {
+		return nil, err
+	}
+	var profiles map[string]profile.Profile
+	if ck.Profiles != nil {
+		po := o.Stage("profile-build")
+		profiles = ck.Profiles
+		restored(po, "profile-build")
+		po.End()
+	} else {
+		profiles, err = profile.BuildUserProfiles(ds, profile.BuildOptions{
+			MinPosts:    cfg.MinPosts,
+			Cells:       cfg.Cells,
+			Parallelism: cfg.Workers,
+			Context:     cfg.Context,
+			Obs:         o,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ck.Profiles = profiles
+		if err := save(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Polishing is cheap and deterministic, so it reruns on resume
+	// instead of being checkpointed.
+	if !cfg.SkipPolish {
+		po := o.Stage("polish")
+		polished, err := profile.Polish(profiles, gen.Generic, true)
+		if err != nil {
+			po.End()
+			return nil, err
+		}
+		res.PolishRemoved = len(polished.Removed)
+		profiles = polished.Kept
+		po.AddItems(int64(len(polished.Kept)))
+		po.Counter("polish.users_kept").Add(int64(len(polished.Kept)))
+		po.Counter("polish.users_removed").Add(int64(len(polished.Removed)))
+		po.End()
+	}
+	res.ActiveUsers = len(profiles)
+
+	if err := canceled(); err != nil {
+		return nil, err
+	}
+	var placement *geoloc.Placement
+	if ck.Placement != nil {
+		po := o.Stage("placement")
+		placement = ck.Placement
+		restored(po, "placement")
+		po.End()
+	} else {
+		placement, err = geoloc.PlaceUsers(profiles, gen.Generic, geoloc.PlaceOptions{
+			Parallelism: cfg.Workers,
+			Context:     cfg.Context,
+			Obs:         o,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ck.Placement = placement
+		if err := save(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := canceled(); err != nil {
+		return nil, err
+	}
+	if ck.Geo != nil {
+		eo := o.Stage("em-select")
+		res.Geo = ck.Geo
+		restored(eo, "em-select")
+		eo.End()
+		return res, nil
+	}
+	geo, err := geoloc.FitPlacement(placement, geoloc.GeolocateOptions{
+		Place: geoloc.PlaceOptions{Parallelism: cfg.Workers},
+		Obs:   o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ck.Geo = geo
+	if err := save(); err != nil {
+		return nil, err
+	}
+	res.Geo = geo
+	return res, nil
+}

@@ -1,0 +1,321 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"darkcrowd/internal/atomicio"
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
+	"darkcrowd/internal/tz"
+)
+
+// writeCrowd generates a small two-region crowd and writes it as a CSV
+// trace, returning the path.
+func writeCrowd(t *testing.T, dir string) string {
+	t.Helper()
+	jp, err := tz.ByCode("jp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := tz.ByCode("it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.GenerateCrowd(11, synth.CrowdConfig{
+		Name: "pipeline-test",
+		Groups: []synth.Group{
+			{Region: jp, Users: 25, PostsPerUser: 60},
+			{Region: it, Users: 15, PostsPerUser: 60},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "crowd.csv")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(fh); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testReference builds one small synthetic reference per test binary; the
+// build is deterministic, so sharing it across tests changes nothing.
+var refOnce *profile.GenericResult
+
+func testReference(t *testing.T) func() (*profile.GenericResult, error) {
+	t.Helper()
+	return func() (*profile.GenericResult, error) {
+		if refOnce == nil {
+			twitter, err := synth.TwitterDataset(2018, synth.TwitterOptions{Scale: 300})
+			if err != nil {
+				return nil, err
+			}
+			refOnce, err = profile.BuildGeneric(twitter, profile.GenericOptions{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return refOnce, nil
+	}
+}
+
+func geoJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	data, err := json.Marshal(res.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestGeolocateCheckpointedMatchesClean(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeCrowd(t, dir)
+	base := Config{
+		TracePath:   tracePath,
+		Reference:   testReference(t),
+		ReferenceID: "test-ref",
+	}
+
+	clean, err := Geolocate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Restored) != 0 {
+		t.Errorf("clean run restored stages: %v", clean.Restored)
+	}
+	if clean.ActiveUsers == 0 || clean.Geo == nil || len(clean.Geo.Components) == 0 {
+		t.Fatalf("clean run produced no geolocation: %+v", clean)
+	}
+	want := geoJSON(t, clean)
+
+	// A checkpointing run from scratch must agree byte for byte.
+	ckCfg := base
+	ckCfg.CheckpointPath = filepath.Join(dir, "stage.ckpt")
+	first, err := Geolocate(ckCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := geoJSON(t, first); got != want {
+		t.Errorf("checkpointing run diverged from clean run:\n%s\nvs\n%s", got, want)
+	}
+	if _, err := os.Stat(ckCfg.CheckpointPath); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Rerunning against the finished checkpoint restores every stage and
+	// still agrees byte for byte.
+	second, err := Geolocate(ckCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"reference", "profile-build", "placement", "em-select"}
+	if len(second.Restored) != len(wantStages) {
+		t.Fatalf("restored %v, want %v", second.Restored, wantStages)
+	}
+	for i, s := range wantStages {
+		if second.Restored[i] != s {
+			t.Fatalf("restored %v, want %v", second.Restored, wantStages)
+		}
+	}
+	if got := geoJSON(t, second); got != want {
+		t.Errorf("resumed run diverged from clean run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestGeolocateResumesAfterCheckpointWriteFailure: a checkpoint-save I/O
+// failure aborts the run, but the previous checkpoint survives intact and
+// a rerun resumes from it to the byte-identical final result.
+func TestGeolocateResumesAfterCheckpointWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeCrowd(t, dir)
+	base := Config{
+		TracePath:   tracePath,
+		Reference:   testReference(t),
+		ReferenceID: "test-ref",
+	}
+	clean, err := Geolocate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geoJSON(t, clean)
+
+	cfg := base
+	cfg.CheckpointPath = filepath.Join(dir, "stage.ckpt")
+	// Fail the second checkpoint save (after profile-build) at the rename
+	// step — the worst point: content fully written, not yet installed.
+	saves := 0
+	injected := errors.New("disk detached")
+	cfg.CheckpointHook = func(op, path string) error {
+		if op == atomicio.OpRename {
+			saves++
+			if saves == 2 {
+				return injected
+			}
+		}
+		return nil
+	}
+	_, err = Geolocate(cfg)
+	if !errors.Is(err, injected) {
+		t.Fatalf("got %v, want injected checkpoint failure", err)
+	}
+	// The first save (reference) must still be installed and parseable.
+	ck, err := loadCheckpoint(cfg.CheckpointPath, fingerprint(clean.Dataset, cfg))
+	if err != nil || ck == nil {
+		t.Fatalf("previous checkpoint lost: ck=%v err=%v", ck, err)
+	}
+	if ck.Reference == nil || ck.Profiles != nil {
+		t.Fatalf("checkpoint holds the wrong stages: %+v", ck)
+	}
+	// No temp files may survive the failure.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+	}
+
+	// Resume without the fault: reference is restored, the rest recomputes,
+	// and the final result is byte-identical to the clean run.
+	cfg.CheckpointHook = nil
+	res, err := Geolocate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Restored) != 1 || res.Restored[0] != "reference" {
+		t.Errorf("restored %v, want [reference]", res.Restored)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Errorf("post-failure resume diverged from clean run")
+	}
+}
+
+// TestGeolocateCheckpointFingerprintGuard: a checkpoint from different
+// inputs or settings must refuse to resume instead of corrupting the run.
+func TestGeolocateCheckpointFingerprintGuard(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeCrowd(t, dir)
+	cfg := Config{
+		TracePath:      tracePath,
+		Reference:      testReference(t),
+		ReferenceID:    "test-ref",
+		CheckpointPath: filepath.Join(dir, "stage.ckpt"),
+	}
+	if _, err := Geolocate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"reference": func(c *Config) { c.ReferenceID = "other-ref" },
+		"minposts":  func(c *Config) { c.MinPosts = 10 },
+		"polish":    func(c *Config) { c.SkipPolish = true },
+	} {
+		changed := cfg
+		mutate(&changed)
+		if _, err := Geolocate(changed); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+			t.Errorf("%s change resumed a stale checkpoint: %v", name, err)
+		}
+	}
+	// Changing the trace content itself must also refuse.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := append(data, []byte("zz-user,2017-06-01T10:00:00Z\n")...)
+	if err := os.WriteFile(tracePath, extra, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Geolocate(cfg); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("trace change resumed a stale checkpoint: %v", err)
+	}
+}
+
+// TestGeolocateLenientTrace: a damaged trace fails strict ingest but runs
+// to completion leniently, with the damage accounted for in the report.
+func TestGeolocateLenientTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeCrowd(t, dir)
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := append([]byte{}, data...)
+	damaged = append(damaged, []byte("broken-row-no-comma\nux,notatime\n")...)
+	if err := os.WriteFile(tracePath, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		TracePath:   tracePath,
+		Reference:   testReference(t),
+		ReferenceID: "test-ref",
+	}
+	if _, err := Geolocate(cfg); err == nil {
+		t.Fatal("strict ingest of a damaged trace should fail")
+	}
+	cfg.Lenient = true
+	res, err := Geolocate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quarantine == nil || res.Quarantine.BadRows != 2 {
+		t.Fatalf("quarantine = %+v, want 2 bad rows", res.Quarantine)
+	}
+	if res.Geo == nil || len(res.Geo.Components) == 0 {
+		t.Fatal("lenient run produced no geolocation")
+	}
+	// A tight budget still fails.
+	cfg.MaxBadRows = 1
+	if _, err := Geolocate(cfg); err == nil {
+		t.Fatal("bad-row budget should fail the run")
+	}
+}
+
+func TestGeolocateConfigErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Geolocate(Config{TracePath: "x"}); err == nil || !strings.Contains(err.Error(), "Reference") {
+		t.Errorf("missing Reference: %v", err)
+	}
+	if _, err := Geolocate(Config{
+		TracePath: filepath.Join(t.TempDir(), "missing.csv"),
+		Reference: func() (*profile.GenericResult, error) { return nil, nil },
+	}); err == nil {
+		t.Error("missing trace should fail")
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint moves with everything the
+// output depends on and ignores what it doesn't (worker count).
+func TestFingerprintSensitivity(t *testing.T) {
+	t.Parallel()
+	ds := &trace.Dataset{Name: "fp"}
+	base := Config{ReferenceID: "r"}
+	fp := fingerprint(ds, base)
+	if fp != fingerprint(ds, base) {
+		t.Error("fingerprint is not deterministic")
+	}
+	workers := base
+	workers.Workers = 7
+	if fingerprint(ds, workers) != fp {
+		t.Error("worker count must not change the fingerprint")
+	}
+	minPosts := base
+	minPosts.MinPosts = 3
+	if fingerprint(ds, minPosts) == fp {
+		t.Error("MinPosts change must change the fingerprint")
+	}
+}

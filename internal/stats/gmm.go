@@ -95,10 +95,61 @@ type EMResult struct {
 	// improvement below Tol, or a clamping-induced decrease) rather than
 	// by hitting MaxIter.
 	Converged bool
+	// Degraded is empty for a healthy fit; otherwise it names why the fit
+	// is only best-effort (non-convergence, a degenerate component). A
+	// degraded result is still the best recoverable model — callers decide
+	// whether to serve it with a warning or to fail.
+	Degraded string `json:"Degraded,omitempty"`
+}
+
+// FitDegradedError is the typed error for an EM run that finished in a
+// degraded state — it hit MaxIter without converging, or produced a
+// degenerate component. The best recoverable mixture rides along in
+// Result, so a long-running pipeline can report a degraded crowd estimate
+// instead of dying: the fit is usable, just not trustworthy to full
+// precision.
+type FitDegradedError struct {
+	// Result is the best recoverable fit; Result.Degraded == Reason.
+	Result EMResult
+	// Reason says what degraded ("max-iterations: ...",
+	// "degenerate-component: ...").
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *FitDegradedError) Error() string {
+	return fmt.Sprintf("stats: degraded EM fit (k=%d): %s", len(e.Result.Mixture), e.Reason)
+}
+
+// degradation inspects a finished EM run and returns the degradation
+// reason, or "" for a healthy fit. A component with a non-finite or
+// non-positive parameter is degenerate — EM collapsed it — and takes
+// precedence over plain non-convergence.
+func degradation(res EMResult) string {
+	for i, g := range res.Mixture {
+		finite := !math.IsNaN(g.Weight) && !math.IsInf(g.Weight, 0) &&
+			!math.IsNaN(g.Mean) && !math.IsInf(g.Mean, 0) &&
+			!math.IsNaN(g.Sigma) && !math.IsInf(g.Sigma, 0)
+		if !finite || g.Sigma <= 0 || g.Weight < 0 {
+			return fmt.Sprintf("degenerate-component: component %d collapsed (weight %g, mean %g, sigma %g)",
+				i, g.Weight, g.Mean, g.Sigma)
+		}
+	}
+	if !res.Converged {
+		return fmt.Sprintf("max-iterations: no convergence after %d iterations", res.Iterations)
+	}
+	return ""
 }
 
 // FitMixtureEM runs EM with exactly k components on the samples (positions
 // on the circle, e.g. per-user placement zones as indices 0..23).
+//
+// Invalid inputs (bad k, bad Period, too few samples) fail with an
+// ordinary error and no result. A run that finishes in a degraded state —
+// MaxIter exhausted without convergence, or a collapsed component —
+// returns the best recoverable EMResult together with a *FitDegradedError
+// wrapping that same result, so callers choose between failing hard and
+// serving the fit with a warning.
 func FitMixtureEM(samples []float64, k int, cfg EMConfig) (EMResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Period <= 0 {
@@ -161,7 +212,15 @@ func FitMixtureEM(samples []float64, k int, cfg EMConfig) (EMResult, error) {
 
 	bic := bicScore(k, n, bestLL)
 	sortMixture(best)
-	return EMResult{Mixture: best, LogLikelihood: bestLL, Iterations: iters, BIC: bic, Converged: converged}, nil
+	res := EMResult{Mixture: best, LogLikelihood: bestLL, Iterations: iters, BIC: bic, Converged: converged}
+	if reason := degradation(res); reason != "" {
+		res.Degraded = reason
+		// The fit is degraded but not worthless: hand the best recoverable
+		// mixture back alongside the typed error so callers can serve a
+		// degraded result instead of dying mid-pipeline.
+		return res, &FitDegradedError{Result: res, Reason: reason}
+	}
+	return res, nil
 }
 
 // eStep fills resp with the posterior responsibilities of each component
@@ -264,6 +323,12 @@ func bicScore(k, n int, ll float64) float64 {
 // workers; every run is deterministic and the winner is picked by scanning
 // the results in k order (ties go to the smaller model), so the outcome
 // matches the sequential loop exactly.
+//
+// Degraded per-k fits (see FitMixtureEM) do not abort selection: their best
+// recoverable models stay in the BIC race alongside the healthy candidates.
+// If the winner itself is degraded, SelectMixture still returns it with a
+// nil error and the Degraded field set — the model is the best available
+// estimate, and the caller decides whether that warrants a warning.
 func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) {
 	cfg = cfg.withDefaults()
 	if maxK <= 0 {
@@ -288,6 +353,15 @@ func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) 
 	err := par.RangesObserved(nil, cfg.Parallelism, kMax, func(start, end int) error {
 		for i := start; i < end; i++ {
 			res, err := FitMixtureEM(samples, i+1, cfg)
+			var deg *FitDegradedError
+			if errors.As(err, &deg) {
+				// A degraded fit still carries the best recoverable model.
+				// It stays in the BIC race: aborting model selection because
+				// one candidate k failed to converge would discard every
+				// healthy candidate along with it.
+				results[i] = deg.Result
+				continue
+			}
 			if err != nil {
 				return fmt.Errorf("stats: EM with k=%d: %w", i+1, err)
 			}
@@ -330,10 +404,25 @@ func SelectMixture(samples []float64, maxK int, cfg EMConfig) (EMResult, error) 
 			conv = 1
 		}
 		o.Gauge("em.selected_converged").Set(conv)
+		degradedK := int64(0)
+		for _, res := range results {
+			if res.Degraded != "" {
+				degradedK++
+			}
+		}
+		o.Gauge("em.degraded_fits").Set(degradedK)
+		selDeg := int64(0)
+		if best.Degraded != "" {
+			selDeg = 1
+		}
+		o.Gauge("em.selected_degraded").Set(selDeg)
 		o.FloatGauge("em.final_log_likelihood").Set(best.LogLikelihood)
 		o.FloatGauge("em.final_bic").Set(best.BIC)
 		o.Eventf("em-select", "model selected",
 			"raw_k", rawK, "k", len(best.Mixture), "iterations", best.Iterations, "converged", best.Converged)
+		if best.Degraded != "" {
+			o.Eventf("em-select", "selected model is degraded", "reason", best.Degraded)
+		}
 	}
 	return best, nil
 }

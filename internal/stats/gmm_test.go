@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -173,7 +175,12 @@ func TestEMWeightsSumToOne(t *testing.T) {
 	samples := sampleMixture(rng, truth, 1000)
 	for k := 1; k <= 3; k++ {
 		res, err := FitMixtureEM(samples, k, EMConfig{Period: 24})
-		if err != nil {
+		var deg *FitDegradedError
+		if errors.As(err, &deg) {
+			// Overparameterized k may not converge; the recoverable fit must
+			// still honor the weight invariant.
+			res = deg.Result
+		} else if err != nil {
 			t.Fatal(err)
 		}
 		if !almostEqual(res.Mixture.TotalWeight(), 1, 1e-6) {
@@ -268,7 +275,12 @@ func TestEMResultDescribesReturnedMixture(t *testing.T) {
 		for _, cfg := range cfgs {
 			for k := 1; k <= 3; k++ {
 				res, err := FitMixtureEM(samples, k, cfg)
-				if err != nil {
+				var deg *FitDegradedError
+				if errors.As(err, &deg) {
+					// The LL/BIC contract holds for degraded fits too: the
+					// reported score must describe the returned mixture.
+					res = deg.Result
+				} else if err != nil {
 					t.Fatal(err)
 				}
 				recomputed := MixtureLogLikelihood(samples, res.Mixture, 24)
@@ -366,15 +378,57 @@ func TestEMConvergedFlag(t *testing.T) {
 	if !res.Converged {
 		t.Errorf("unimodal fit did not converge in %d iterations", res.Iterations)
 	}
+	// A single-iteration budget cannot converge: the fit comes back as a
+	// degraded-but-usable result attached to a typed error.
 	capped, err := FitMixtureEM(samples, 2, EMConfig{Period: 24, MaxIter: 1})
-	if err != nil {
-		t.Fatal(err)
+	var deg *FitDegradedError
+	if !errors.As(err, &deg) {
+		t.Fatalf("MaxIter=1 run returned %v, want *FitDegradedError", err)
 	}
 	if capped.Converged {
 		t.Error("MaxIter=1 run claims convergence")
 	}
 	if capped.Iterations != 1 {
 		t.Errorf("MaxIter=1 run reports %d iterations", capped.Iterations)
+	}
+	if capped.Degraded == "" || deg.Result.Degraded != capped.Degraded {
+		t.Errorf("degraded fit not marked: result %q, error carries %q", capped.Degraded, deg.Result.Degraded)
+	}
+	if !strings.Contains(deg.Reason, "max-iterations") {
+		t.Errorf("degradation reason = %q", deg.Reason)
+	}
+	if len(deg.Result.Mixture) != 2 {
+		t.Errorf("degraded error carries %d components, want the recoverable 2", len(deg.Result.Mixture))
+	}
+}
+
+// TestSelectMixtureAbsorbsDegradedFits: non-converging per-k runs must not
+// abort model selection — their best recoverable fits stay in the BIC race,
+// and if the winner itself is degraded, SelectMixture returns it with a nil
+// error and the Degraded field set.
+func TestSelectMixtureAbsorbsDegradedFits(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(21))
+	samples := sampleMixture(rng, Mixture{{Weight: 1, Mean: 8, Sigma: 2.5}}, 400)
+	// MaxIter=1 starves every candidate k, so each FitMixtureEM call
+	// returns a *FitDegradedError; selection must still produce a model.
+	res, err := SelectMixture(samples, 3, EMConfig{Period: 24, MaxIter: 1})
+	if err != nil {
+		t.Fatalf("SelectMixture died on degraded candidates: %v", err)
+	}
+	if len(res.Mixture) == 0 {
+		t.Fatal("no model selected")
+	}
+	if res.Degraded == "" || !strings.Contains(res.Degraded, "max-iterations") {
+		t.Errorf("winner of an all-degraded race must be marked degraded, got %q", res.Degraded)
+	}
+	// Healthy data with a sane budget stays unmarked.
+	healthy, err := SelectMixture(samples, 3, EMConfig{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Degraded != "" {
+		t.Errorf("healthy selection marked degraded: %q", healthy.Degraded)
 	}
 }
 

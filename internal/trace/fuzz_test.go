@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to both the strict and the lenient CSV
+// reader. Invariants:
+//
+//   - neither reader may ever panic, whatever the input;
+//   - the lenient reader never keeps more rows than it saw, and its
+//     quarantine sample never exceeds the cap;
+//   - any input the strict reader accepts is a valid dataset, and encoding
+//     it with WriteCSV and reading it back reproduces the posts exactly,
+//     with the re-encoding byte-identical (WriteCSV output is a fixpoint).
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("user_id,time_rfc3339\nu1,2017-03-01T10:00:00Z\n"))
+	f.Add([]byte("user_id,time_rfc3339\n\"u,1\",2017-03-01T10:00:00Z\nu2,2017-12-31T23:59:59Z\n"))
+	f.Add([]byte("user_id,time_rfc3339\nu1,notatime\nu2,2017-03-01T10:00:00Z\n"))
+	f.Add([]byte("user_id,time_rfc3339\nu1,2017-03-01T10:00:00+02:00\n"))
+	f.Add([]byte("user_id,time_rfc3339"))
+	f.Add([]byte(""))
+	f.Add([]byte("\"\n\x00,"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, err := ReadCSV("fuzz", bytes.NewReader(data))
+		lenient, report, lerr := ReadCSVOpts("fuzz", bytes.NewReader(data),
+			ReadCSVOptions{Lenient: true, MaxBadRows: 1 << 20, SampleCap: 4})
+		if lerr == nil && len(report.Rows) > 4 {
+			t.Fatalf("quarantine sample %d rows, cap 4", len(report.Rows))
+		}
+		if err != nil {
+			return
+		}
+		// Strict success implies lenient success with an empty quarantine
+		// and the identical dataset.
+		if lerr != nil {
+			t.Fatalf("strict accepted but lenient failed: %v", lerr)
+		}
+		if !report.Empty() {
+			t.Fatalf("strict accepted but lenient quarantined %d rows", report.BadRows)
+		}
+		if len(lenient.Posts) != len(strict.Posts) {
+			t.Fatalf("lenient kept %d posts, strict %d", len(lenient.Posts), len(strict.Posts))
+		}
+		// Round trip: encode, re-read, re-encode. Posts must survive
+		// exactly and the encoding must be a byte-identical fixpoint.
+		var once bytes.Buffer
+		if err := strict.WriteCSV(&once); err != nil {
+			t.Fatalf("WriteCSV of accepted dataset: %v", err)
+		}
+		back, err := ReadCSV("fuzz", bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of WriteCSV output: %v\n%q", err, once.Bytes())
+		}
+		if len(back.Posts) != len(strict.Posts) {
+			t.Fatalf("round trip kept %d posts, want %d", len(back.Posts), len(strict.Posts))
+		}
+		for i := range strict.Posts {
+			if back.Posts[i].UserID != strict.Posts[i].UserID || !back.Posts[i].Time.Equal(strict.Posts[i].Time) {
+				t.Fatalf("post %d drifted in round trip: %+v vs %+v", i, back.Posts[i], strict.Posts[i])
+			}
+		}
+		var twice bytes.Buffer
+		if err := back.WriteCSV(&twice); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("WriteCSV is not a fixpoint:\n%q\nvs\n%q", once.Bytes(), twice.Bytes())
+		}
+	})
+}

@@ -202,17 +202,42 @@ func (d *Dataset) Window(from, to time.Time) *Dataset {
 }
 
 // Merge combines several datasets into one. Ground-truth maps are merged;
-// conflicting labels for the same user are an error.
+// conflicting labels for the same user are an error, never a silent
+// last-dataset-wins overwrite. Every conflicting user is collected before
+// failing, and the error names them in sorted order with both datasets
+// involved — so one merge attempt diagnoses all the label damage, and the
+// message is deterministic regardless of map iteration order.
 func Merge(name string, datasets ...*Dataset) (*Dataset, error) {
 	out := &Dataset{Name: name, GroundTruth: make(map[string]string)}
+	labelledBy := make(map[string]string) // user -> name of the dataset that labelled them
+	var conflicts []string
+	conflictSeen := make(map[string]bool)
 	for _, d := range datasets {
 		out.Posts = append(out.Posts, d.Posts...)
 		for u, r := range d.GroundTruth {
 			if prev, ok := out.GroundTruth[u]; ok && prev != r {
-				return nil, fmt.Errorf("trace: user %q labelled both %q and %q", u, prev, r)
+				if !conflictSeen[u] {
+					conflictSeen[u] = true
+					conflicts = append(conflicts, fmt.Sprintf("user %q labelled %q (dataset %q) and %q (dataset %q)",
+						u, prev, labelledBy[u], r, d.Name))
+				}
+				continue
 			}
 			out.GroundTruth[u] = r
+			labelledBy[u] = d.Name
 		}
+	}
+	if len(conflicts) > 0 {
+		sort.Strings(conflicts)
+		const show = 5
+		listed := conflicts
+		suffix := ""
+		if len(listed) > show {
+			listed = listed[:show]
+			suffix = fmt.Sprintf("; and %d more", len(conflicts)-show)
+		}
+		return nil, fmt.Errorf("trace: merge %q: %d conflicting ground-truth label(s): %s%s",
+			name, len(conflicts), strings.Join(listed, "; "), suffix)
 	}
 	if len(out.GroundTruth) == 0 {
 		out.GroundTruth = nil
@@ -329,21 +354,133 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 // user-ID strings are interned so a million-post file holds one string per
 // distinct user instead of one per row.
 func ReadCSVHint(name string, r io.Reader, postHint int) (*Dataset, error) {
+	ds, _, err := ReadCSVOpts(name, r, ReadCSVOptions{PostHint: postHint})
+	return ds, err
+}
+
+// DefaultQuarantineSample is how many quarantined rows a lenient read keeps
+// verbatim for diagnosis when ReadCSVOptions.SampleCap is zero.
+const DefaultQuarantineSample = 10
+
+// ReadCSVOptions tunes ReadCSVOpts.
+type ReadCSVOptions struct {
+	// PostHint preallocates the post slice (0 is fine) — see ReadCSVHint.
+	PostHint int
+	// Lenient switches the reader from fail-fast to quarantining: a
+	// malformed row is recorded in the QuarantineReport and skipped instead
+	// of aborting the whole load. The header is always strict — a missing
+	// or wrong header means the wrong file, not a dirty row.
+	Lenient bool
+	// MaxBadRows is the lenient mode's bad-row budget: quarantining more
+	// than this many rows aborts the read with a *BadRowBudgetError. Zero
+	// or negative means no budget (quarantine everything).
+	MaxBadRows int
+	// SampleCap bounds how many quarantined rows are kept verbatim in the
+	// report (default DefaultQuarantineSample). The total count is always
+	// exact; only the per-row detail is capped.
+	SampleCap int
+}
+
+// QuarantinedRow describes one malformed row a lenient read skipped.
+type QuarantinedRow struct {
+	// Line is the 1-based record number in the file (the header is record
+	// 1; for files without quoted newlines this is the line number).
+	Line int `json:"line"`
+	// Field names what was malformed: "record" for CSV-level damage
+	// (quoting, field count), or the column name for a bad value.
+	Field string `json:"field"`
+	// Reason is the parse error, verbatim.
+	Reason string `json:"reason"`
+	// Raw is the offending value (truncated), empty when the row never
+	// parsed into fields.
+	Raw string `json:"raw,omitempty"`
+}
+
+// QuarantineReport is the structured outcome of a lenient read: how many
+// rows were skipped and a capped sample of them. A nil report (strict mode)
+// and an empty report (lenient, clean file) both mean nothing was skipped.
+type QuarantineReport struct {
+	// BadRows is the exact number of quarantined rows.
+	BadRows int `json:"bad_rows"`
+	// Rows is the kept sample, in file order, capped at SampleCap.
+	Rows []QuarantinedRow `json:"rows,omitempty"`
+}
+
+// Empty reports whether nothing was quarantined.
+func (q *QuarantineReport) Empty() bool { return q == nil || q.BadRows == 0 }
+
+// String renders a one-line summary.
+func (q *QuarantineReport) String() string {
+	if q.Empty() {
+		return "0 rows quarantined"
+	}
+	return fmt.Sprintf("%d row(s) quarantined (first: line %d, %s: %s)",
+		q.BadRows, q.Rows[0].Line, q.Rows[0].Field, q.Rows[0].Reason)
+}
+
+// BadRowBudgetError aborts a lenient read whose quarantine outgrew the
+// configured budget: a file this dirty is more likely the wrong file than a
+// damaged one, and silently skipping most of it would fabricate a dataset.
+type BadRowBudgetError struct {
+	// Budget is the configured MaxBadRows.
+	Budget int
+	// Report is the quarantine state at abort time (Budget+1 bad rows).
+	Report *QuarantineReport
+}
+
+// Error implements the error interface.
+func (e *BadRowBudgetError) Error() string {
+	return fmt.Sprintf("trace: bad-row budget exhausted: %s, budget %d", e.Report, e.Budget)
+}
+
+// quarantine records one bad row, enforcing the sample cap and the budget.
+// It returns the budget error once the count passes MaxBadRows.
+func (opts *ReadCSVOptions) quarantine(q *QuarantineReport, row QuarantinedRow) error {
+	q.BadRows++
+	keep := opts.SampleCap
+	if keep <= 0 {
+		keep = DefaultQuarantineSample
+	}
+	if len(q.Rows) < keep {
+		const rawCap = 80
+		if len(row.Raw) > rawCap {
+			row.Raw = row.Raw[:rawCap] + "..."
+		}
+		q.Rows = append(q.Rows, row)
+	}
+	if opts.MaxBadRows > 0 && q.BadRows > opts.MaxBadRows {
+		return &BadRowBudgetError{Budget: opts.MaxBadRows, Report: q}
+	}
+	return nil
+}
+
+// ReadCSVOpts is the configurable CSV reader behind ReadCSV/ReadCSVHint.
+// In strict mode (the default) it behaves exactly like ReadCSVHint: the
+// first malformed row aborts the read, and the returned report is nil. In
+// lenient mode malformed rows are skipped into the returned
+// QuarantineReport — the paper's real-world corpora are full of gap-ridden
+// records, and a longitudinal pipeline must survive them — up to the
+// MaxBadRows budget. Well-formed rows parse identically in both modes.
+func ReadCSVOpts(name string, r io.Reader, opts ReadCSVOptions) (*Dataset, *QuarantineReport, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if errors.Is(err, io.EOF) {
-		return nil, errors.New("trace: empty CSV")
+		return nil, nil, errors.New("trace: empty CSV")
 	}
 	if err != nil {
-		return nil, fmt.Errorf("trace: read CSV header: %w", err)
+		return nil, nil, fmt.Errorf("trace: read CSV header: %w", err)
 	}
 	if len(header) != len(csvHeader) || header[0] != csvHeader[0] || header[1] != csvHeader[1] {
-		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+		return nil, nil, fmt.Errorf("trace: unexpected CSV header %v", header)
 	}
 	out := &Dataset{Name: name}
-	if postHint > 0 {
-		out.Posts = make([]Post, 0, postHint)
+	if opts.PostHint > 0 {
+		out.Posts = make([]Post, 0, opts.PostHint)
+	}
+	var report *QuarantineReport
+	if opts.Lenient {
+		report = &QuarantineReport{}
 	}
 	intern := make(map[string]string)
 	for line := 2; ; line++ {
@@ -352,11 +489,23 @@ func ReadCSVHint(name string, r io.Reader, postHint int) (*Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: read CSV line %d: %w", line, err)
+			if !opts.Lenient {
+				return nil, nil, fmt.Errorf("trace: read CSV line %d: %w", line, err)
+			}
+			if qerr := opts.quarantine(report, QuarantinedRow{Line: line, Field: "record", Reason: err.Error()}); qerr != nil {
+				return nil, report, qerr
+			}
+			continue
 		}
 		ts, err := parseRFC3339(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: parse time on line %d: %w", line, err)
+			if !opts.Lenient {
+				return nil, nil, fmt.Errorf("trace: parse time on line %d: %w", line, err)
+			}
+			if qerr := opts.quarantine(report, QuarantinedRow{Line: line, Field: csvHeader[1], Reason: err.Error(), Raw: rec[1]}); qerr != nil {
+				return nil, report, qerr
+			}
+			continue
 		}
 		// Intern the user ID: csv fields are substrings of a fresh per-row
 		// string (safe to retain even with ReuseRecord), and the map keeps
@@ -368,7 +517,7 @@ func ReadCSVHint(name string, r io.Reader, postHint int) (*Dataset, error) {
 		}
 		out.Posts = append(out.Posts, Post{UserID: id, Time: ts})
 	}
-	return out, nil
+	return out, report, nil
 }
 
 // parseRFC3339 parses an RFC3339 timestamp and normalizes it to UTC. The
