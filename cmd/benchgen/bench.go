@@ -60,6 +60,12 @@ type benchReport struct {
 	// fewer allocations), derived, kept in the file for easy reading.
 	SpeedupNs  map[string]float64 `json:"speedup_ns,omitempty"`
 	AllocRatio map[string]float64 `json:"alloc_ratio,omitempty"`
+	// Ratios holds derived cross-workload speedups (e.g. snapshot load vs
+	// CSV parse) — the numbers the ingest suite's hard gates check.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+	// IngestWorkers is the sharded-parser worker count the ingest suite
+	// ran with (0 for the placement suite).
+	IngestWorkers int `json:"ingest_workers,omitempty"`
 }
 
 // preColumnarBaseline holds the tracked workloads as measured at commit

@@ -1,0 +1,199 @@
+package main
+
+// benchgen -bench-ingest: measure the ingest data path — sequential CSV
+// parse, sharded parallel parse, binary snapshot encode/decode, and the
+// two ends of the ingest→profile pipeline (sequential read + columnar
+// build vs. sharded read + fused build) — and write BENCH_ingest.json.
+//
+//	benchgen -bench-ingest                         # run suite, write BENCH_ingest.json
+//	benchgen -bench-ingest -ingest-workers 8       # shard the parser differently
+//	benchgen -bench-ingest -check                  # regression + speedup gates (CI)
+//
+// With -check the suite enforces two hard ratios on top of the usual 2x
+// regression gate: snapshot_load must be at least 5x faster than
+// csv_read (the point of the snapshot format is skipping the parse), and
+// ingest_fused must beat ingest_seq outright (the point of fusing the
+// profile build into the parse).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
+)
+
+// ingestGates are the hard cross-workload speedup floors -check enforces.
+var ingestGates = map[string]float64{
+	"snapshot_load_speedup_vs_csv_read": 5,
+	"ingest_fused_speedup_vs_seq":       1,
+}
+
+// runIngestBench measures the ingest workloads and writes the JSON report
+// to outPath. A non-empty checkPath gates on the committed report plus
+// the hard speedup floors in ingestGates.
+func runIngestBench(scale int, seed int64, workers int, outPath, checkPath string) int {
+	ds, err := synth.TwitterDataset(seed, synth.TwitterOptions{Scale: scale})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: build dataset: %v\n", err)
+		return 1
+	}
+	var csvBuf bytes.Buffer
+	if err := ds.WriteCSV(&csvBuf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: serialize dataset: %v\n", err)
+		return 1
+	}
+	csvBytes := csvBuf.Bytes()
+	var snapBuf bytes.Buffer
+	if err := ds.WriteSnapshot(&snapBuf); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: serialize snapshot: %v\n", err)
+		return 1
+	}
+	snapBytes := snapBuf.Bytes()
+
+	workloads := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		// csv_read is the production sequential path: no row-count hint —
+		// a real ingest learns the row count by parsing, exactly like
+		// pipeline.Geolocate's CSV fallback.
+		{"csv_read", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ReadCSV("bench", bytes.NewReader(csvBytes)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"csv_read_parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := trace.ReadCSVParallel("bench", csvBytes, trace.ReadCSVOptions{}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"snapshot_write", func(b *testing.B) {
+			var buf bytes.Buffer
+			buf.Grow(len(snapBytes))
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := ds.WriteSnapshot(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"snapshot_load", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ReadSnapshotBytes(snapBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ingest_seq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, err := trace.ReadCSV("bench", bytes.NewReader(csvBytes))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := profile.BuildUserProfiles(got, profile.BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ingest_fused", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := trace.IngestCSV("bench", csvBytes, trace.IngestOptions{
+					Workers:      workers,
+					CollectCells: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := profile.BuildUserProfilesFused(res.Cells, profile.BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	report := benchReport{
+		Tool:          "benchgen -bench-ingest",
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		TwitterScale:  scale,
+		Seed:          seed,
+		IngestWorkers: workers,
+		Workloads:     make(map[string]benchMetric, len(workloads)),
+	}
+	for _, w := range workloads {
+		// Keep the fastest of three runs: the minimum is the least noisy
+		// estimator of a workload's true cost — slower runs measure GC and
+		// scheduler luck, and the speedup gates need stable ratios.
+		res := testing.Benchmark(w.fn)
+		for run := 1; run < 3; run++ {
+			if again := testing.Benchmark(w.fn); again.NsPerOp() < res.NsPerOp() {
+				res = again
+			}
+		}
+		m := benchMetric{
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		report.Workloads[w.name] = m
+		fmt.Printf("%-24s %12d ns/op %12d B/op %10d allocs/op\n",
+			w.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	ratio := func(num, den string) float64 {
+		if d := report.Workloads[den].NsPerOp; d > 0 {
+			return round2(float64(report.Workloads[num].NsPerOp) / float64(d))
+		}
+		return 0
+	}
+	report.Ratios = map[string]float64{
+		"snapshot_load_speedup_vs_csv_read": ratio("csv_read", "snapshot_load"),
+		"parallel_read_speedup_vs_csv_read": ratio("csv_read", "csv_read_parallel"),
+		"ingest_fused_speedup_vs_seq":       ratio("ingest_seq", "ingest_fused"),
+	}
+	for name, val := range report.Ratios {
+		fmt.Printf("%-36s %6.2fx\n", name, val)
+	}
+
+	if checkPath != "" {
+		if code := checkAgainst(checkPath, report.Workloads); code != 0 {
+			return code
+		}
+		failures := 0
+		for name, floor := range ingestGates {
+			if got := report.Ratios[name]; got < floor {
+				fmt.Fprintf(os.Stderr, "benchgen: -check: %s = %.2fx, need >= %.0fx\n", name, got, floor)
+				failures++
+			}
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchgen: -check: %d ingest speedup gate(s) failed\n", failures)
+			return 1
+		}
+		fmt.Println("check passed: ingest speedup gates hold")
+	}
+
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: marshal report: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: write %s: %v\n", outPath, err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return 0
+}

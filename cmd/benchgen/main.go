@@ -10,6 +10,7 @@
 //	benchgen -onion              # scrape forums through the onion network
 //	benchgen -bench              # measure data-path kernels, write BENCH_placement.json
 //	benchgen -bench -check       # also gate on the checked-in report (CI)
+//	benchgen -bench-ingest       # measure the ingest path, write BENCH_ingest.json
 package main
 
 import (
@@ -39,7 +40,11 @@ func run() int {
 		bench        = flag.Bool("bench", false, "measure the tracked data-path kernels and write a JSON report")
 		benchOut     = flag.String("bench-out", "BENCH_placement.json", "where -bench writes its report")
 		benchBase    = flag.String("bench-baseline", "BENCH_placement.json", "committed report -check gates against")
-		check        = flag.Bool("check", false, "with -bench: fail if any workload is >2x slower than the committed report")
+		benchIngest  = flag.Bool("bench-ingest", false, "measure the ingest data path (CSV parse, snapshots, fused build) and write a JSON report")
+		ingestOut    = flag.String("bench-ingest-out", "BENCH_ingest.json", "where -bench-ingest writes its report")
+		ingestBase   = flag.String("bench-ingest-baseline", "BENCH_ingest.json", "committed report -bench-ingest -check gates against")
+		ingestWork   = flag.Int("ingest-workers", 4, "with -bench-ingest: sharded-parser worker count")
+		check        = flag.Bool("check", false, "with -bench/-bench-ingest: fail if any workload is >2x slower than the committed report (plus ingest speedup gates)")
 		cpuProfile   = flag.String("cpuprofile", "", "with -bench: write a pprof CPU profile of the suite here")
 		memProfile   = flag.String("memprofile", "", "with -bench: write a pprof heap profile here")
 	)
@@ -51,6 +56,14 @@ func run() int {
 			baseline = *benchBase
 		}
 		return runBench(*twitterScale, *seed, *benchOut, baseline, *cpuProfile, *memProfile)
+	}
+
+	if *benchIngest {
+		baseline := ""
+		if *check {
+			baseline = *ingestBase
+		}
+		return runIngestBench(*twitterScale, *seed, *ingestWork, *ingestOut, baseline)
 	}
 
 	if *list {

@@ -60,6 +60,8 @@ func run(args []string) error {
 		return cmdProfile(args[1:])
 	case "geolocate":
 		return cmdGeolocate(args[1:])
+	case "snapshot":
+		return cmdSnapshot(args[1:])
 	case "hemisphere":
 		return cmdHemisphere(args[1:])
 	case "scrape":
@@ -83,6 +85,7 @@ subcommands:
   reference   build and save the generic reference profile (JSON)
   profile     show a user's or the crowd's 24-hour activity profile
   geolocate   place a crowd and fit its time-zone mixture
+  snapshot    compile a CSV trace into a binary columnar snapshot (.dcs)
   hemisphere  classify users as northern/southern hemisphere (DST test)
   scrape      crawl a live forum into a CSV trace
   serve       host a synthetic forum over plain HTTP`)
@@ -322,6 +325,43 @@ func cmdReference(args []string) error {
 	return nil
 }
 
+// cmdSnapshot compiles a CSV trace into the binary columnar snapshot
+// format once, so later geolocate runs load it with O(1) parse work
+// instead of re-parsing the CSV.
+func cmdSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	in := fs.String("in", "crowd.csv", "input CSV trace (UTC timestamps)")
+	out := fs.String("out", "", "output snapshot path (default: <in>.dcs)")
+	workers := fs.Int("ingest-workers", 0, "parser worker goroutines (0 = all cores); output is identical for every setting")
+	lenient := fs.Bool("lenient", false, "quarantine malformed trace rows instead of failing (report on stderr)")
+	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient, fail after this many bad rows (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		*out = *in + ".dcs"
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	res, err := trace.IngestCSV(*in, data, trace.IngestOptions{
+		ReadCSVOptions: trace.ReadCSVOptions{Lenient: *lenient, MaxBadRows: *maxBadRows},
+		Workers:        *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Report != nil && !res.Report.Empty() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", res.Report)
+	}
+	if err := atomicio.WriteFile(*out, res.Dataset.WriteSnapshot); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, res.Dataset.Summarize())
+	return nil
+}
+
 func cmdGeolocate(args []string) error {
 	fs := flag.NewFlagSet("geolocate", flag.ContinueOnError)
 	in := fs.String("in", "crowd.csv", "input CSV trace (UTC timestamps)")
@@ -333,6 +373,8 @@ func cmdGeolocate(args []string) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores, 1 = sequential); output is identical for every setting")
 	lenient := fs.Bool("lenient", false, "quarantine malformed trace rows instead of failing (report on stderr)")
 	maxBadRows := fs.Int("max-bad-rows", 0, "with -lenient, fail after this many bad rows (0 = unlimited)")
+	snapshot := fs.String("snapshot", "", "binary snapshot cache: load the trace from this .dcs file if it exists, else ingest the CSV and write it (empty = off)")
+	ingestWorkers := fs.Int("ingest-workers", 0, "CSV parser worker goroutines (0 = all cores); output is identical for every setting")
 	ckpt := fs.String("checkpoint", "", "stage checkpoint file: an interrupted run resumes from it (empty = off)")
 	outPath := fs.String("out", "", "also write the full geolocation result as JSON to this path")
 	of := registerObsFlags(fs)
@@ -348,6 +390,8 @@ func cmdGeolocate(args []string) error {
 		TracePath:      *in,
 		Lenient:        *lenient,
 		MaxBadRows:     *maxBadRows,
+		SnapshotPath:   *snapshot,
+		IngestWorkers:  *ingestWorkers,
 		MinPosts:       *minPosts,
 		SkipPolish:     *skipPolish,
 		Workers:        *workers,
@@ -387,6 +431,12 @@ func cmdGeolocate(args []string) error {
 	}
 	// Diagnostics go to stderr so a resumed run's stdout stays
 	// byte-identical to a clean run's.
+	if res.SnapshotLoaded {
+		fmt.Fprintf(os.Stderr, "loaded trace from snapshot %s\n", *snapshot)
+	}
+	if res.SnapshotWritten {
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", *snapshot)
+	}
 	if res.Quarantine != nil && !res.Quarantine.Empty() {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", res.Quarantine)
 	}

@@ -141,6 +141,60 @@ func TestScrapeCommand(t *testing.T) {
 	}
 }
 
+// TestSnapshotCommand: the snapshot subcommand compiles a CSV into a
+// loadable .dcs, and geolocate -snapshot produces the same stdout whether
+// it ingests the CSV or loads the snapshot.
+func TestSnapshotCommand(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "crowd.csv")
+	if err := run([]string{"generate", "-regions", "jp:40", "-posts", "80", "-seed", "5", "-out", csvPath}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	snapPath := filepath.Join(dir, "crowd.dcs")
+	if err := run([]string{"snapshot", "-in", csvPath, "-out", snapPath, "-ingest-workers", "3"}); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	fh, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.ReadSnapshot(fh)
+	fh.Close()
+	if err != nil {
+		t.Fatalf("snapshot output does not decode: %v", err)
+	}
+	if ds.NumPosts() == 0 {
+		t.Fatal("snapshot dataset is empty")
+	}
+	// Default output path is <in>.dcs.
+	if err := run([]string{"snapshot", "-in", csvPath}); err != nil {
+		t.Fatalf("snapshot default out: %v", err)
+	}
+	if _, err := os.Stat(csvPath + ".dcs"); err != nil {
+		t.Fatalf("default .dcs missing: %v", err)
+	}
+	// Missing input fails.
+	if err := run([]string{"snapshot", "-in", filepath.Join(dir, "nope.csv")}); err == nil {
+		t.Error("missing trace should fail")
+	}
+
+	// geolocate is stdout-identical across plain CSV ingest, a
+	// snapshot-writing run, and a snapshot-loading run.
+	geoArgs := []string{"geolocate", "-in", csvPath, "-twitter-scale", "300"}
+	want := captureStdout(t, func() error { return run(geoArgs) })
+	fresh := filepath.Join(dir, "fresh.dcs")
+	withSnap := append(geoArgs, "-snapshot", fresh, "-ingest-workers", "5")
+	if got := captureStdout(t, func() error { return run(withSnap) }); got != want {
+		t.Errorf("snapshot-writing geolocate diverged:\n%s\nvs\n%s", got, want)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("geolocate did not write the snapshot: %v", err)
+	}
+	if got := captureStdout(t, func() error { return run(withSnap) }); got != want {
+		t.Errorf("snapshot-loading geolocate diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	if err := run([]string{"generate", "-regions", "bad"}); err == nil {
 		t.Error("bad regions should fail")

@@ -24,6 +24,7 @@ import (
 	"testing"
 
 	"darkcrowd/internal/obs"
+	"darkcrowd/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
@@ -139,6 +140,82 @@ func TestGeolocateCrowdGolden(t *testing.T) {
 		t.Errorf("geolocation drifted from golden fixture %s\n"+
 			"if the change is intended, regenerate with -update and review the diff\ngot:\n%s",
 			goldenPath, gotJSON)
+	}
+}
+
+// TestGeolocateCrowdGoldenIngestInvariant round-trips the golden crowd
+// through every ingest path — sequential CSV read, sharded parallel read,
+// binary snapshot round-trip, and the fused parse+cell-collect path — and
+// demands each one reproduce the committed fixture bit for bit. The
+// fixture pins not just the math but every road into it.
+func TestGeolocateCrowdGoldenIngestInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end ingest sweep in -short mode")
+	}
+	labelled, err := SyntheticTwitterDataset(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildReference(labelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := SyntheticCrowd(2, map[string]int{"jp": 60, "us-il": 30}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := crowd.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	csvBytes := csvBuf.Bytes()
+
+	seq, err := trace.ReadCSV("golden", bytes.NewReader(csvBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := trace.ReadCSVParallel("golden", csvBytes, trace.ReadCSVOptions{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapBuf bytes.Buffer
+	if err := seq.WriteSnapshot(&snapBuf); err != nil {
+		t.Fatal(err)
+	}
+	snapped, err := trace.ReadSnapshotBytes(snapBuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := trace.IngestCSV("golden", csvBytes, trace.IngestOptions{Workers: 3, CollectCells: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read fixture (run with -update to create it): %v", err)
+	}
+	var want goldenReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	paths := []struct {
+		name string
+		ds   *Dataset
+	}{
+		{"sequential", seq},
+		{"sharded", sharded},
+		{"snapshot", snapped},
+		{"fused", fused.Dataset},
+	}
+	for _, p := range paths {
+		report, err := GeolocateCrowd(p.ds.Posts, ref, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got := snapshotReport(report); !reflect.DeepEqual(want, got) {
+			t.Errorf("%s ingest path drifted from golden fixture %s", p.name, goldenPath)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"darkcrowd/internal/par"
 	"darkcrowd/internal/pipeline"
 	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
 )
 
@@ -80,9 +81,11 @@ func geoJSON(t *testing.T, res *pipeline.Result) string {
 	return string(data)
 }
 
-// assertNoPartials checks the two file-level invariants after any failed
-// attempt: no orphaned temp files anywhere in dir, and the checkpoint —
-// if it exists at all — is complete, valid JSON, never a torn write.
+// assertNoPartials checks the file-level invariants after any failed
+// attempt: no orphaned temp files anywhere in dir, the checkpoint — if it
+// exists at all — is complete, valid JSON, never a torn write, and any
+// .dcs snapshot in dir decodes cleanly (a snapshot either exists whole or
+// not at all).
 func assertNoPartials(t *testing.T, dir, ckptPath string) {
 	t.Helper()
 	leftovers, err := TempFiles(dir)
@@ -91,6 +94,19 @@ func assertNoPartials(t *testing.T, dir, ckptPath string) {
 	}
 	if len(leftovers) != 0 {
 		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "*.dcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snap := range snaps {
+		data, err := os.ReadFile(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trace.ReadSnapshotBytes(data); err != nil {
+			t.Fatalf("snapshot %s is torn: %v", snap, err)
+		}
 	}
 	data, err := os.ReadFile(ckptPath)
 	if errors.Is(err, os.ErrNotExist) {
@@ -195,6 +211,65 @@ func TestChaosCorruptRows(t *testing.T) {
 	}
 }
 
+// TestChaosSnapshotFaults: an injected I/O failure during the snapshot
+// write fails the run without leaving any .dcs file — partial snapshots
+// must never exist — and the fault-free retry writes it whole, after
+// which runs load it and still match the clean result bit for bit.
+func TestChaosSnapshotFaults(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeCrowd(t, dir)
+	base := pipeline.Config{
+		TracePath:   tracePath,
+		Reference:   testReference(t),
+		ReferenceID: "chaos-ref",
+	}
+	clean, err := pipeline.Geolocate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geoJSON(t, clean)
+
+	in := New(Config{Seed: 6, CheckpointFailProb: 1, MaxFaults: 1})
+	cfg := base
+	cfg.SnapshotPath = filepath.Join(dir, "crowd.dcs")
+	cfg.CheckpointHook = in.Hook()
+	if _, err := pipeline.Geolocate(cfg); err == nil {
+		t.Fatal("run with an injected snapshot-write failure should fail")
+	}
+	if in.Stats().CheckpointFails != 1 {
+		t.Errorf("stats = %s, want 1 checkpoint fail", in.Stats())
+	}
+	if _, err := os.Stat(cfg.SnapshotPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed write left a snapshot behind (stat err %v)", err)
+	}
+	assertNoPartials(t, dir, "")
+
+	// Budget spent: the retry ingests the CSV and installs the snapshot.
+	res, err := pipeline.Geolocate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotWritten || res.SnapshotLoaded {
+		t.Errorf("retry: written=%v loaded=%v, want a fresh snapshot write", res.SnapshotWritten, res.SnapshotLoaded)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Error("snapshot-writing run diverged from clean run")
+	}
+	assertNoPartials(t, dir, "")
+
+	// And the next run serves the trace from the snapshot, identically.
+	res, err = pipeline.Geolocate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotLoaded || res.SnapshotWritten {
+		t.Errorf("third run: written=%v loaded=%v, want a snapshot load", res.SnapshotWritten, res.SnapshotLoaded)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Error("snapshot-loaded run diverged from clean run")
+	}
+}
+
 // TestChaosGauntlet is the composed harness: panics, checkpoint-write
 // failures, and mid-stage cancellations all fire against checkpointed
 // runs, across several seeds. Whatever fails, no partial file ever
@@ -224,9 +299,12 @@ func TestChaosGauntlet(t *testing.T) {
 			MaxFaults:          4,
 		})
 		ckpt := filepath.Join(dir, "gauntlet.ckpt")
+		snap := filepath.Join(dir, "gauntlet.dcs")
 		os.Remove(ckpt)
+		os.Remove(snap)
 		cfg := base
 		cfg.CheckpointPath = ckpt
+		cfg.SnapshotPath = snap
 		cfg.Cells = in.Cells(nil)
 		cfg.CheckpointHook = in.Hook()
 

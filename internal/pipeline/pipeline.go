@@ -43,6 +43,17 @@ type Config struct {
 	Lenient bool
 	// MaxBadRows bounds the quarantine in lenient mode (<= 0: unlimited).
 	MaxBadRows int
+	// SnapshotPath, when non-empty, caches the ingested trace as a binary
+	// columnar snapshot (.dcs). When the file exists it is authoritative:
+	// the CSV is not re-read and the snapshot loads with O(1) parse work.
+	// When it doesn't, the trace is ingested from TracePath and the
+	// snapshot is written atomically next to the run. A snapshot carries
+	// the post-quarantine dataset, so loads from it report no quarantine.
+	SnapshotPath string
+	// IngestWorkers sets the worker count for sharded CSV parsing
+	// (0 = all cores). The parsed dataset is bit-identical for every
+	// setting.
+	IngestWorkers int
 	// Reference supplies the generic reference profile — built
 	// synthetically or loaded from a file; the pipeline only dictates
 	// when it runs and how it is checkpointed. Required.
@@ -96,6 +107,12 @@ type Result struct {
 	// Restored lists the stages that came from the checkpoint instead of
 	// being recomputed, in pipeline order.
 	Restored []string
+	// SnapshotLoaded reports that the dataset came from Config.SnapshotPath
+	// instead of the CSV trace.
+	SnapshotLoaded bool
+	// SnapshotWritten reports that this run ingested the CSV and installed
+	// a fresh snapshot at Config.SnapshotPath.
+	SnapshotWritten bool
 }
 
 // checkpointVersion guards the on-disk format; bump it when the layout
@@ -177,19 +194,62 @@ func Geolocate(cfg Config) (*Result, error) {
 	}
 
 	lo := o.Stage("load-trace")
-	fh, err := os.Open(cfg.TracePath)
-	if err != nil {
-		lo.End()
-		return nil, fmt.Errorf("open trace: %w", err)
+	var (
+		err        error
+		ds         *trace.Dataset
+		quarantine *trace.QuarantineReport
+		cells      *trace.UserCells
+
+		snapLoaded, snapWritten bool
+	)
+	if cfg.SnapshotPath != "" {
+		snap, err := os.ReadFile(cfg.SnapshotPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// No snapshot yet: ingest the CSV below and install one.
+		case err != nil:
+			lo.End()
+			return nil, fmt.Errorf("open snapshot: %w", err)
+		default:
+			ds, err = trace.ReadSnapshotBytes(snap)
+			if err != nil {
+				lo.End()
+				return nil, fmt.Errorf("pipeline: load snapshot %s: %w (delete it to re-ingest from the CSV)", cfg.SnapshotPath, err)
+			}
+			snapLoaded = true
+			lo.Counter("ingest.snapshot_loads").Add(1)
+		}
 	}
-	ds, quarantine, err := trace.ReadCSVOpts(cfg.TracePath, fh, trace.ReadCSVOptions{
-		Lenient:    cfg.Lenient,
-		MaxBadRows: cfg.MaxBadRows,
-	})
-	fh.Close()
-	if err != nil {
-		lo.End()
-		return nil, err
+	if ds == nil {
+		data, err := os.ReadFile(cfg.TracePath)
+		if err != nil {
+			lo.End()
+			return nil, fmt.Errorf("open trace: %w", err)
+		}
+		ing, err := trace.IngestCSV(cfg.TracePath, data, trace.IngestOptions{
+			ReadCSVOptions: trace.ReadCSVOptions{
+				Lenient:    cfg.Lenient,
+				MaxBadRows: cfg.MaxBadRows,
+			},
+			Workers: cfg.IngestWorkers,
+			// The fused profile build consumes ingest-time cells, but only
+			// in the default UTC frame; a Cells override needs timestamps.
+			CollectCells: cfg.Cells == nil,
+		})
+		if err != nil {
+			lo.End()
+			return nil, err
+		}
+		ds, quarantine, cells = ing.Dataset, ing.Report, ing.Cells
+		if cfg.SnapshotPath != "" {
+			err := atomicio.WriteFileHooked(cfg.SnapshotPath, ds.WriteSnapshot, cfg.CheckpointHook)
+			if err != nil {
+				lo.End()
+				return nil, fmt.Errorf("pipeline: save snapshot: %w", err)
+			}
+			snapWritten = true
+			lo.Counter("ingest.snapshot_writes").Add(1)
+		}
 	}
 	lo.AddItems(int64(ds.NumPosts()))
 	lo.Counter("trace.posts_loaded").Add(int64(ds.NumPosts()))
@@ -200,7 +260,7 @@ func Geolocate(cfg Config) (*Result, error) {
 		}
 	}
 	lo.End()
-	res := &Result{Dataset: ds, Quarantine: quarantine}
+	res := &Result{Dataset: ds, Quarantine: quarantine, SnapshotLoaded: snapLoaded, SnapshotWritten: snapWritten}
 
 	fp := fingerprint(ds, cfg)
 	var ck *checkpoint
@@ -273,13 +333,25 @@ func Geolocate(cfg Config) (*Result, error) {
 		restored(po, "profile-build")
 		po.End()
 	} else {
-		profiles, err = profile.BuildUserProfiles(ds, profile.BuildOptions{
-			MinPosts:    cfg.MinPosts,
-			Cells:       cfg.Cells,
-			Parallelism: cfg.Workers,
-			Context:     cfg.Context,
-			Obs:         o,
-		})
+		if cells != nil && cfg.Cells == nil {
+			// Fresh sharded ingest: the cell keys accumulated during the
+			// parse feed the profile build directly, skipping the per-post
+			// timestamp→cell arithmetic. Bit-identical to the path below.
+			profiles, err = profile.BuildUserProfilesFused(cells, profile.BuildOptions{
+				MinPosts:    cfg.MinPosts,
+				Parallelism: cfg.Workers,
+				Context:     cfg.Context,
+				Obs:         o,
+			})
+		} else {
+			profiles, err = profile.BuildUserProfiles(ds, profile.BuildOptions{
+				MinPosts:    cfg.MinPosts,
+				Cells:       cfg.Cells,
+				Parallelism: cfg.Workers,
+				Context:     cfg.Context,
+				Obs:         o,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -298,6 +298,92 @@ func TestGeolocateConfigErrors(t *testing.T) {
 	}
 }
 
+// TestGeolocateSnapshotPaths: every ingest path — sequential CSV, sharded
+// CSV, snapshot write, snapshot load, and the unfused profile build —
+// yields a byte-identical geolocation.
+func TestGeolocateSnapshotPaths(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := writeCrowd(t, dir)
+	base := Config{
+		TracePath:   tracePath,
+		Reference:   testReference(t),
+		ReferenceID: "test-ref",
+	}
+	clean, err := Geolocate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geoJSON(t, clean)
+
+	sharded := base
+	sharded.IngestWorkers = 7
+	res, err := Geolocate(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Errorf("sharded ingest diverged from sequential")
+	}
+
+	// Forcing the unfused build (explicit UTC cell hook) must not change
+	// the output either — it pins fused/unfused equivalence in situ.
+	unfused := base
+	unfused.Cells = profile.UTCCells()
+	res, err = Geolocate(unfused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Errorf("unfused profile build diverged")
+	}
+
+	// First snapshot run ingests the CSV and installs the snapshot …
+	snap := base
+	snap.SnapshotPath = filepath.Join(dir, "crowd.dcs")
+	res, err = Geolocate(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SnapshotWritten || res.SnapshotLoaded {
+		t.Fatalf("first snapshot run: written=%v loaded=%v", res.SnapshotWritten, res.SnapshotLoaded)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Errorf("snapshot-writing run diverged")
+	}
+
+	// … the second loads it without touching the CSV at all.
+	if err := os.Remove(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Geolocate(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotWritten || !res.SnapshotLoaded {
+		t.Fatalf("second snapshot run: written=%v loaded=%v", res.SnapshotWritten, res.SnapshotLoaded)
+	}
+	if res.Quarantine != nil {
+		t.Errorf("snapshot load reported a quarantine: %+v", res.Quarantine)
+	}
+	if got := geoJSON(t, res); got != want {
+		t.Errorf("snapshot-loading run diverged")
+	}
+
+	// A corrupted snapshot fails loudly with recovery advice, never
+	// silently falls back to the (here: deleted) CSV.
+	raw, err := os.ReadFile(snap.SnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(snap.SnapshotPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Geolocate(snap); err == nil || !strings.Contains(err.Error(), "delete it to re-ingest") {
+		t.Errorf("corrupt snapshot: %v", err)
+	}
+}
+
 // TestFingerprintSensitivity: the fingerprint moves with everything the
 // output depends on and ignores what it doesn't (worker count).
 func TestFingerprintSensitivity(t *testing.T) {

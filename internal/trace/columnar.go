@@ -86,6 +86,18 @@ func buildStore(posts []Post) *Store {
 			s.sortedByTime = false
 		}
 	}
+	s.finish(firstIDs, counts)
+	return s
+}
+
+// finish completes a provisionally-filled store: lookup maps each user ID
+// to its first-appearance index, firstIDs lists the IDs in that order,
+// counts holds per-provisional-user post counts, and userOf/when/
+// sortedByTime are already post-parallel. It sorts the dictionary, remaps
+// userOf to sorted ranks in place, and scatters the CSR payload. Shared
+// by buildStore and the sharded parallel reader's merge, so both produce
+// bit-identical stores.
+func (s *Store) finish(firstIDs []string, counts []int32) {
 	// Sort the dictionary and remap the provisional indices to sorted ones,
 	// so user index order == lexicographic user ID order everywhere.
 	nu := len(firstIDs)
@@ -112,14 +124,13 @@ func buildStore(posts []Post) *Store {
 	for u, c := range sortedCounts {
 		s.offsets[u+1] = s.offsets[u] + c
 	}
-	s.posts = make([]int32, len(posts))
+	s.posts = make([]int32, len(s.userOf))
 	cursor := make([]int32, nu)
 	copy(cursor, s.offsets[:nu])
 	for i, u := range s.userOf {
 		s.posts[cursor[u]] = int32(i)
 		cursor[u]++
 	}
-	return s
 }
 
 // NumUsers returns the number of distinct users.

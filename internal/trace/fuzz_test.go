@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -67,6 +68,88 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
 			t.Fatalf("WriteCSV is not a fixpoint:\n%q\nvs\n%q", once.Bytes(), twice.Bytes())
+		}
+	})
+}
+
+// FuzzShardSplit feeds arbitrary bytes and worker counts to the sharded
+// parallel reader. Invariants:
+//
+//   - shardSplit cuts are monotone, newline-aligned and cover the input,
+//     whatever the byte soup;
+//   - the parallel reader never panics and is byte-identical to the
+//     sequential reader — datasets, quarantine reports and typed errors —
+//     in both strict and lenient modes, at any worker count. Adversarial
+//     newline/quote/\r placements all funnel through here.
+func FuzzShardSplit(f *testing.F) {
+	f.Add([]byte("user_id,time_rfc3339\nu1,2017-03-01T10:00:00Z\n"), uint8(3))
+	f.Add([]byte("user_id,time_rfc3339\r\nu1,2017-03-01T10:00:00Z\r\nu2,bad\r\n"), uint8(7))
+	f.Add([]byte("user_id,time_rfc3339\nu\r1,2017-03-01T10:00:00Z\nu2\n,\n"), uint8(2))
+	f.Add([]byte("user_id,time_rfc3339\nu1,2017-03-01T10:00:00+02:00\nu1,2017-03-01T10:00:00.5Z"), uint8(16))
+	f.Add([]byte("\n\nuser_id,time_rfc3339\n\r\nu1,2017-03-01T10:00:00Z\r"), uint8(5))
+	f.Add([]byte("no,header\n"), uint8(1))
+	f.Add([]byte(""), uint8(9))
+	f.Add([]byte("\"\n\x00,\r"), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, rawWorkers uint8) {
+		workers := 1 + int(rawWorkers%16)
+		start := 0
+		if len(data) > 0 {
+			start = int(rawWorkers) % len(data)
+		}
+		checkShardSplit(t, data, start, workers)
+		checkParallelEquivalence(t, data, ReadCSVOptions{}, workers)
+		checkParallelEquivalence(t, data, ReadCSVOptions{Lenient: true, MaxBadRows: 8, SampleCap: 3}, workers)
+	})
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoder.
+// Invariants:
+//
+//   - the decoder never panics, whatever the bytes (truncations, bit
+//     flips, hostile counts);
+//   - every rejection is a typed *SnapshotError;
+//   - anything accepted is canonical: re-encoding the decoded dataset
+//     reproduces the input byte-for-byte.
+func FuzzSnapshotDecode(f *testing.F) {
+	seed, _, err := ReadCSVOpts("seed", bytes.NewReader([]byte(
+		"user_id,time_rfc3339\nu1,2017-03-01T10:00:00Z\nu2,2017-03-01T10:00:00.5Z\nu1,2017-03-01T09:00:00Z\n")),
+		ReadCSVOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed.GroundTruth = map[string]string{"u1": "jp"}
+	var buf bytes.Buffer
+	if err := seed.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:16])
+	mutated := bytes.Clone(valid)
+	mutated[len(mutated)/2] ^= 0x40
+	f.Add(mutated)
+	f.Add([]byte("DCSNAP01"))
+	f.Add([]byte(""))
+	f.Add([]byte("DCSNAP01\x01\x00\x00\x00\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := decodeSnapshot(data)
+		if err != nil {
+			var se *SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("decode error is %T, want *SnapshotError: %v", err, err)
+			}
+			if ds != nil {
+				t.Fatal("decode returned both a dataset and an error")
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := ds.WriteSnapshot(&out); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted snapshot is not canonical:\n in: %x\nout: %x", data, out.Bytes())
 		}
 	})
 }

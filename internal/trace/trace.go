@@ -502,7 +502,9 @@ func ReadCSVOpts(name string, r io.Reader, opts ReadCSVOptions) (*Dataset, *Quar
 			if !opts.Lenient {
 				return nil, nil, fmt.Errorf("trace: parse time on line %d: %w", line, err)
 			}
-			if qerr := opts.quarantine(report, QuarantinedRow{Line: line, Field: csvHeader[1], Reason: err.Error(), Raw: rec[1]}); qerr != nil {
+			// Clone the sample: rec aliases the reader's reusable record
+			// buffer, and the report outlives this iteration.
+			if qerr := opts.quarantine(report, QuarantinedRow{Line: line, Field: csvHeader[1], Reason: err.Error(), Raw: strings.Clone(rec[1])}); qerr != nil {
 				return nil, report, qerr
 			}
 			continue
@@ -526,38 +528,54 @@ func ReadCSVOpts(name string, r io.Reader, opts ReadCSVOptions) (*Dataset, *Quar
 // other shape falls back to time.Parse so accepted inputs and error
 // behavior match the stdlib exactly.
 func parseRFC3339(s string) (time.Time, error) {
-	if len(s) == 20 && s[4] == '-' && s[7] == '-' && s[10] == 'T' &&
-		s[13] == ':' && s[16] == ':' && s[19] == 'Z' {
-		year, ok1 := atoi4(s[0:4])
-		month, ok2 := atoi2(s[5:7])
-		day, ok3 := atoi2(s[8:10])
-		hour, ok4 := atoi2(s[11:13])
-		min, ok5 := atoi2(s[14:16])
-		sec, ok6 := atoi2(s[17:19])
-		if ok1 && ok2 && ok3 && ok4 && ok5 && ok6 &&
-			month >= 1 && month <= 12 && day >= 1 && day <= daysIn(year, month) &&
-			hour <= 23 && min <= 59 && sec <= 59 {
-			return time.Unix(unixFromCivil(year, month, day)+int64(hour)*3600+int64(min)*60+int64(sec), 0).UTC(), nil
-		}
-	}
-	ts, err := time.Parse(time.RFC3339, s)
+	sec, ts, fast, err := parseStamp(s)
 	if err != nil {
 		return time.Time{}, err
 	}
-	return ts.UTC(), nil
+	if fast {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	return ts, nil
 }
 
-func atoi2(s string) (int, bool) {
-	a, b := s[0]-'0', s[1]-'0'
+// parseStamp is the RFC3339 scanner shared by the sequential reader
+// (strings) and the sharded parallel reader (byte slices without a
+// per-row string allocation). fast reports that the instant is the whole
+// second sec — exactly time.Unix(sec, 0).UTC() — while the fallback path
+// returns the stdlib-parsed, UTC-normalized ts.
+func parseStamp[T ~string | ~[]byte](s T) (sec int64, ts time.Time, fast bool, err error) {
+	if len(s) == 20 && s[4] == '-' && s[7] == '-' && s[10] == 'T' &&
+		s[13] == ':' && s[16] == ':' && s[19] == 'Z' {
+		year, ok1 := atoi4(s, 0)
+		month, ok2 := atoi2(s, 5)
+		day, ok3 := atoi2(s, 8)
+		hour, ok4 := atoi2(s, 11)
+		min, ok5 := atoi2(s, 14)
+		secs, ok6 := atoi2(s, 17)
+		if ok1 && ok2 && ok3 && ok4 && ok5 && ok6 &&
+			month >= 1 && month <= 12 && day >= 1 && day <= daysIn(year, month) &&
+			hour <= 23 && min <= 59 && secs <= 59 {
+			return unixFromCivil(year, month, day) + int64(hour)*3600 + int64(min)*60 + int64(secs), time.Time{}, true, nil
+		}
+	}
+	ts, err = time.Parse(time.RFC3339, string(s))
+	if err != nil {
+		return 0, time.Time{}, false, err
+	}
+	return 0, ts.UTC(), false, nil
+}
+
+func atoi2[T ~string | ~[]byte](s T, i int) (int, bool) {
+	a, b := s[i]-'0', s[i+1]-'0'
 	if a > 9 || b > 9 {
 		return 0, false
 	}
 	return int(a)*10 + int(b), true
 }
 
-func atoi4(s string) (int, bool) {
-	hi, ok1 := atoi2(s[0:2])
-	lo, ok2 := atoi2(s[2:4])
+func atoi4[T ~string | ~[]byte](s T, i int) (int, bool) {
+	hi, ok1 := atoi2(s, i)
+	lo, ok2 := atoi2(s, i+2)
 	return hi*100 + lo, ok1 && ok2
 }
 
