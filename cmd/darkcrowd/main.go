@@ -10,7 +10,11 @@
 //	darkcrowd geolocate -in crowd.csv
 //	darkcrowd hemisphere -in crowd.csv -top 5
 //	darkcrowd scrape -url http://127.0.0.1:8080 -out scraped.csv
-//	darkcrowd serve -forum "CRD Club" -addr 127.0.0.1:8080
+//	darkcrowd serve -addr 127.0.0.1:8080 -snapshot state.dcs
+//
+// serve is the streaming mode: a long-running daemon that accepts NDJSON
+// posts over HTTP and keeps an incrementally updated geolocation of the
+// crowd (see README). Synthetic forums are hosted by forumsim -serve.
 package main
 
 import (
@@ -19,11 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"darkcrowd"
@@ -31,7 +36,6 @@ import (
 	"darkcrowd/internal/core/geoloc"
 	"darkcrowd/internal/core/profile"
 	"darkcrowd/internal/crawler"
-	"darkcrowd/internal/forum"
 	"darkcrowd/internal/obs"
 	"darkcrowd/internal/pipeline"
 	"darkcrowd/internal/synth"
@@ -88,7 +92,7 @@ subcommands:
   snapshot    compile a CSV trace into a binary columnar snapshot (.dcs)
   hemisphere  classify users as northern/southern hemisphere (DST test)
   scrape      crawl a live forum into a CSV trace
-  serve       host a synthetic forum over plain HTTP`)
+  serve       run the streaming geolocation daemon (NDJSON ingest over HTTP)`)
 }
 
 // obsFlags wires the observability layer (internal/obs) into a
@@ -203,6 +207,34 @@ func reference(seed int64, scale, workers int) (*profile.GenericResult, error) {
 		return nil, err
 	}
 	return profile.BuildGeneric(twitter, profile.GenericOptions{Parallelism: workers})
+}
+
+// referenceLoader resolves the -ref/-seed/-twitter-scale flags shared by
+// geolocate and serve into a cache-key identity string plus the loader
+// itself: a saved JSON reference when refPath is set, a fresh synthetic
+// build otherwise.
+func referenceLoader(refPath string, seed int64, scale, workers int) (string, func() (*profile.GenericResult, error)) {
+	if refPath != "" {
+		return "file:" + refPath, func() (*profile.GenericResult, error) {
+			fh, err := os.Open(refPath)
+			if err != nil {
+				return nil, fmt.Errorf("open reference: %w", err)
+			}
+			defer fh.Close()
+			ref, err := darkcrowd.ReadReference(fh)
+			if err != nil {
+				return nil, err
+			}
+			return &profile.GenericResult{
+				Generic:     ref.Generic,
+				PerRegion:   ref.PerRegion,
+				ActiveUsers: ref.ActiveUsers,
+			}, nil
+		}
+	}
+	return fmt.Sprintf("synth:seed=%d,scale=%d", seed, scale), func() (*profile.GenericResult, error) {
+		return reference(seed, scale, workers)
+	}
 }
 
 func cmdGenerate(args []string) error {
@@ -398,30 +430,7 @@ func cmdGeolocate(args []string) error {
 		CheckpointPath: *ckpt,
 		Obs:            o,
 	}
-	if *refPath != "" {
-		cfg.ReferenceID = "file:" + *refPath
-		cfg.Reference = func() (*profile.GenericResult, error) {
-			fh, err := os.Open(*refPath)
-			if err != nil {
-				return nil, fmt.Errorf("open reference: %w", err)
-			}
-			defer fh.Close()
-			ref, err := darkcrowd.ReadReference(fh)
-			if err != nil {
-				return nil, err
-			}
-			return &profile.GenericResult{
-				Generic:     ref.Generic,
-				PerRegion:   ref.PerRegion,
-				ActiveUsers: ref.ActiveUsers,
-			}, nil
-		}
-	} else {
-		cfg.ReferenceID = fmt.Sprintf("synth:seed=%d,scale=%d", *seed, *scale)
-		cfg.Reference = func() (*profile.GenericResult, error) {
-			return reference(*seed, *scale, *workers)
-		}
-	}
+	cfg.ReferenceID, cfg.Reference = referenceLoader(*refPath, *seed, *scale, *workers)
 	res, err := pipeline.Geolocate(cfg)
 	if err != nil {
 		if *ckpt != "" {
@@ -560,43 +569,67 @@ func cmdScrape(args []string) error {
 	return nil
 }
 
+// serveTestHook, when non-nil, receives the daemon's resolved listen
+// address and a function that triggers shutdown, letting tests drive the
+// serve lifecycle without sending real signals.
+var serveTestHook func(addr string, stop context.CancelFunc)
+
+// cmdServe runs the streaming geolocation daemon: NDJSON posts in over
+// POST /ingest, incrementally updated placements out of GET /place/{user}
+// and GET /report. The listener is bound before the serving line is
+// printed — the advertised URL is always connectable, and -addr :0
+// renders with the real resolved port — and SIGINT/SIGTERM drains
+// in-flight requests, then flushes the snapshot.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	name := fs.String("forum", "CRD Club", "which §V forum to synthesize")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
-	seed := fs.Int64("seed", 42, "crowd generation seed")
-	scale := fs.Int("scale", 4, "divide the forum census by this factor")
-	failEvery := fs.Int("fail-every", 0, "answer 503 on every Nth request (0 = never; for crawler testing)")
-	latency := fs.Duration("latency", 0, "delay every response by this much")
+	refPath := fs.String("ref", "", "load the reference from this JSON file instead of rebuilding it")
+	seed := fs.Int64("seed", 2018, "seed for the reference dataset")
+	scale := fs.Int("twitter-scale", 40, "reference dataset scale divisor")
+	minPosts := fs.Int("min-posts", profile.DefaultMinPosts, "active-user threshold")
+	skipPolish := fs.Bool("skip-polish", false, "skip flat-profile removal")
+	workers := fs.Int("workers", 0, "worker goroutines for the mixture fit (0 = all cores); reports are identical for every setting")
+	snapshot := fs.String("snapshot", "", "durable state: warm-start from this .dcs snapshot and checkpoint to it on compaction and shutdown (empty = in-memory only)")
+	compactEvery := fs.Int("compact-every", pipeline.DefaultCompactEvery, "fold the mutable ingest tail into the immutable base after this many pending posts")
+	refitDebounce := fs.Duration("refit-debounce", pipeline.DefaultRefitDebounce, "quiet period after ingest before the background re-fit (negative = fit only on demand)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := synth.ForumSpecByName(*name)
-	if err != nil {
-		return err
-	}
-	if *scale > 1 {
-		spec.Users /= *scale
-		spec.Posts /= *scale
-		if spec.Users < 20 {
-			spec.Users = 20
-		}
-	}
-	crowd, err := synth.ForumCrowd(*seed, spec)
-	if err != nil {
-		return err
-	}
-	f := forum.New(forum.Config{
-		Name:         spec.Name,
-		ServerOffset: time.Duration(spec.ServerOffsetHours) * time.Hour,
-		PageSize:     50,
-		FailEvery:    *failEvery,
-		Latency:      *latency,
+	refID, ref := referenceLoader(*refPath, *seed, *scale, *workers)
+	fmt.Fprintf(os.Stderr, "loading reference (%s)...\n", refID)
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	d, err := pipeline.NewDaemon(pipeline.ServeConfig{
+		Reference:     ref,
+		MinPosts:      *minPosts,
+		SkipPolish:    *skipPolish,
+		Workers:       *workers,
+		SnapshotPath:  *snapshot,
+		CompactEvery:  *compactEvery,
+		RefitDebounce: *refitDebounce,
+		Obs:           o,
 	})
-	if err := f.ImportCrowd(crowd, forum.ImportOptions{}); err != nil {
+	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s (%d members, %d posts, clock skew %+dh) on http://%s\n",
-		spec.Name, f.NumMembers(), f.NumPosts(), spec.ServerOffsetHours, *addr)
-	return http.ListenAndServe(*addr, f.Handler())
+	srv, err := obs.ServeHandler(*addr, d.Handler())
+	if err != nil {
+		_ = d.Close()
+		return err
+	}
+	fmt.Printf("darkcrowd geolocation daemon serving on http://%s (POST /ingest, GET /place/{user}, /report, /healthz, /metrics)\n", srv.Addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if serveTestHook != nil {
+		serveTestHook(srv.Addr, stop)
+	}
+	<-ctx.Done()
+	fmt.Println("shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = srv.Shutdown(shutCtx)
+	if cerr := d.Close(); err == nil {
+		err = cerr // the snapshot flush, surfaced
+	}
+	return err
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -16,6 +18,97 @@ import (
 	"darkcrowd/internal/trace"
 	"darkcrowd/internal/tz"
 )
+
+// TestServeDaemonLifecycle boots the streaming daemon on an ephemeral
+// port, ingests over HTTP, and shuts it down the way a SIGTERM would —
+// asserting the advertised address is the resolved one (not ":0") and the
+// exit is clean.
+func TestServeDaemonLifecycle(t *testing.T) {
+	type hooked struct {
+		addr string
+		stop context.CancelFunc
+	}
+	ready := make(chan hooked, 1)
+	serveTestHook = func(addr string, stop context.CancelFunc) {
+		ready <- hooked{addr, stop}
+	}
+	defer func() { serveTestHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve",
+			"-addr", "127.0.0.1:0",
+			"-twitter-scale", "300",
+			"-min-posts", "5",
+			"-refit-debounce", "-1ms",
+		})
+	}()
+	var h hooked
+	select {
+	case h = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for the daemon to bind")
+	}
+	if strings.HasSuffix(h.addr, ":0") {
+		t.Fatalf("advertised address %q kept the unresolved :0 port", h.addr)
+	}
+	base := "http://" + h.addr
+
+	body := strings.NewReader(
+		`{"user_id":"alice","time":"2018-03-01T12:00:00Z"}` + "\n" +
+			`{"user_id":"alice","time":"2018-03-02T13:00:00Z"}` + "\n")
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	var ing struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatalf("decode ingest result: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Accepted != 2 {
+		t.Fatalf("ingest: status %d, accepted %d", resp.StatusCode, ing.Accepted)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var hz struct {
+		Posts int `json:"posts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if hz.Posts != 2 {
+		t.Fatalf("healthz posts = %d, want 2", hz.Posts)
+	}
+
+	// No user is active yet, so the crowd report must refuse politely.
+	resp, err = http.Get(base + "/report")
+	if err != nil {
+		t.Fatalf("GET /report: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/report on an empty crowd: status %d, want 503", resp.StatusCode)
+	}
+
+	h.stop() // stands in for SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for graceful shutdown")
+	}
+}
 
 func TestRunUsageAndErrors(t *testing.T) {
 	if err := run(nil); err == nil {

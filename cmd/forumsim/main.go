@@ -16,15 +16,24 @@
 //	forumsim -forum "CRD Club"         # another §V forum
 //	forumsim -scale 4                  # quarter-size crowd (faster)
 //	forumsim -relays 12 -seed 7
+//	forumsim -serve 127.0.0.1:8080     # host over plain HTTP instead
+//
+// With -serve the onion pipeline is skipped: the synthetic forum is hosted
+// directly over plain HTTP (for darkcrowd scrape and crawler testing)
+// until SIGINT/SIGTERM, then drained gracefully.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"darkcrowd/internal/core/geoloc"
@@ -51,6 +60,10 @@ func run(args []string, out io.Writer) error {
 		relays       = fs.Int("relays", 9, "number of onion relays")
 		seed         = fs.Int64("seed", 42, "seed for all synthetic data")
 		twitterScale = fs.Int("twitter-scale", 40, "scale of the reference Twitter dataset")
+		serveAddr    = fs.String("serve", "", "host the forum over plain HTTP on this address (skips the onion pipeline; Ctrl-C / SIGTERM to stop)")
+
+		failEvery = fs.Int("fail-every", 0, "with -serve, answer 503 on every Nth request (0 = never; for crawler testing)")
+		latency   = fs.Duration("latency", 0, "with -serve, delay every response by this much")
 
 		dropProb  = fs.Float64("drop", 0, "probability of dropping each relay cell")
 		resetProb = fs.Float64("reset", 0, "probability of resetting the circuit under each relay cell")
@@ -65,20 +78,19 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	spec, err := synth.ForumSpecByName(*forumName)
+	// Crowd + forum, through the shared sim constructor (scaled census,
+	// ground-truth crowd, import, skewed server clock).
+	sim, err := forum.NewSim(forum.ServeConfig{
+		Forum:     *forumName,
+		Seed:      *seed,
+		Scale:     *scale,
+		FailEvery: *failEvery,
+		Latency:   *latency,
+	})
 	if err != nil {
 		return err
 	}
-	if *scale > 1 {
-		spec.Users /= *scale
-		spec.Posts /= *scale
-		if spec.Users < 20 {
-			spec.Users = 20
-		}
-		if spec.Posts < spec.Users*50 {
-			spec.Posts = spec.Users * 50
-		}
-	}
+	spec, f := sim.Spec, sim.Forum
 
 	fmt.Fprintf(out, "=== %s (%s)\n", spec.Name, spec.Onion)
 	fmt.Fprintf(out, "ground truth: %d users, ~%d posts, mixture:\n", spec.Users, spec.Posts)
@@ -95,6 +107,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %5.1f%%  %s (%s)\n", spec.Mix[code]*100, region.Name, region.StandardOffset)
 	}
 	fmt.Fprintf(out, "server clock skew: %+dh (to be discovered by the probe)\n\n", spec.ServerOffsetHours)
+	fmt.Fprintf(out, "forum holds %d posts by %d members\n", f.NumPosts(), f.NumMembers())
+
+	// Plain-HTTP hosting mode: no onion network, no scrape — just the
+	// forum server with a graceful-shutdown lifecycle.
+	if *serveAddr != "" {
+		return servePlain(*serveAddr, sim, out)
+	}
 
 	// 1. Onion network (optionally with a seeded fault plan).
 	fmt.Fprintf(out, "booting onion network with %d relays...\n", *relays)
@@ -103,21 +122,6 @@ func run(args []string, out io.Writer) error {
 	if _, err := network.AddRelays(*relays); err != nil {
 		return err
 	}
-	// 2. Crowd + forum.
-	fmt.Fprintln(out, "synthesizing crowd and importing into the forum...")
-	truth, err := synth.ForumCrowd(*seed, spec)
-	if err != nil {
-		return err
-	}
-	f := forum.New(forum.Config{
-		Name:         spec.Name,
-		ServerOffset: time.Duration(spec.ServerOffsetHours) * time.Hour,
-		PageSize:     50,
-	})
-	if err := f.ImportCrowd(truth, forum.ImportOptions{}); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "forum holds %d posts by %d members\n", f.NumPosts(), f.NumMembers())
 
 	// 3. Hidden service.
 	svc, err := onion.HostService(network, "forum-host", onion.DefaultIntroPoints)
@@ -202,5 +206,48 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  component %d: %s\n", i+1, comp)
 	}
 	fmt.Fprintf(out, "  fit quality: avg point distance %.4f, std %.4f\n", geo.AvgDistance, geo.StdDistance)
+	return nil
+}
+
+// serveTestHook, when non-nil, receives the resolved listen address and a
+// function that triggers shutdown, letting tests drive the serve lifecycle
+// without sending real signals.
+var serveTestHook func(addr string, stop context.CancelFunc)
+
+// servePlain hosts the simulated forum over plain HTTP until SIGINT/SIGTERM,
+// then drains in-flight requests. The listener is bound before anything is
+// printed, so the advertised URL is always connectable (and ":0" renders as
+// the real resolved port).
+func servePlain(addr string, sim *forum.Sim, out io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(out, "serving %s (%d members, %d posts, clock skew %+dh) on http://%s\n",
+		sim.Spec.Name, sim.Forum.NumMembers(), sim.Forum.NumPosts(),
+		sim.Spec.ServerOffsetHours, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if serveTestHook != nil {
+		serveTestHook(ln.Addr().String(), stop)
+	}
+
+	srv := &http.Server{Handler: sim.Forum.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errCh // always http.ErrServerClosed after a clean Shutdown
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
+	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestForumsimEndToEnd(t *testing.T) {
@@ -28,6 +31,66 @@ func TestForumsimEndToEnd(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestForumsimServeMode(t *testing.T) {
+	type hooked struct {
+		addr string
+		stop context.CancelFunc
+	}
+	ready := make(chan hooked, 1)
+	serveTestHook = func(addr string, stop context.CancelFunc) {
+		ready <- hooked{addr, stop}
+	}
+	defer func() { serveTestHook = nil }()
+
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-forum", "Italian DarkNet Community",
+			"-scale", "8",
+			"-seed", "9",
+			"-serve", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	var h hooked
+	select {
+	case h = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before serving: %v\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for serve to start")
+	}
+
+	resp, err := http.Get("http://" + h.addr + "/")
+	if err != nil {
+		t.Fatalf("GET forum index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forum index status = %d", resp.StatusCode)
+	}
+
+	h.stop() // stands in for SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for graceful shutdown")
+	}
+	s := out.String()
+	for _, want := range []string{"on http://127.0.0.1:", "shutting down"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "http://127.0.0.1:0") {
+		t.Errorf("advertised URL kept the unresolved :0 port:\n%s", s)
 	}
 }
 

@@ -1,0 +1,71 @@
+package geoloc
+
+import (
+	"errors"
+	"fmt"
+
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/tz"
+)
+
+// PlaceUsersPartial is the dirty-set variant of PlaceUsers for the
+// streaming daemon: known carries zone indices of users whose profiles
+// have not changed since they were last placed, and only the remaining
+// (dirty or new) users go through the EMD kernel. The returned Placement
+// is bit-identical to PlaceUsers over the same profiles — per-user
+// placement depends only on (profile, generic), so a cached zone for an
+// unchanged profile is exactly what the kernel would recompute — and
+// fresh maps each newly computed user to its zone index so the caller can
+// refill its cache.
+//
+// Entries in known for users absent from profiles are ignored. The dirty
+// set is typically tiny between refits, so this path is sequential; batch
+// runs with full dirty sets should use PlaceUsers, which shards.
+func PlaceUsersPartial(profiles map[string]profile.Profile, generic profile.Profile, known map[string]int, opts PlaceOptions) (*Placement, map[string]int, error) {
+	if len(profiles) == 0 {
+		return nil, nil, errors.New("geoloc: no profiles to place")
+	}
+	if opts.Distance == 0 {
+		opts.Distance = DistanceCircularEMD
+	}
+	var zones []profile.Profile
+	if opts.Distance == DistanceLinearEMD {
+		zones = profile.ZoneProfiles(generic)
+	}
+	users := profile.SortedUserIDs(profiles)
+	o := opts.Obs.Stage("placement")
+	defer o.End()
+	fresh := make(map[string]int)
+	dists := make([]float64, tz.HoursPerDay)
+	scratch := make([]float64, 2*tz.HoursPerDay)
+	out := &Placement{
+		Assignments: make(map[string]tz.Offset, len(profiles)),
+		Histogram:   make([]float64, tz.HoursPerDay),
+		Counts:      make([]int, tz.HoursPerDay),
+	}
+	for i, userID := range users {
+		if opts.Context != nil && i&0xff == 0 {
+			if err := opts.Context.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
+		zi, ok := known[userID]
+		if !ok {
+			var err error
+			zi, err = nearestZoneIndex(profiles[userID], generic, zones, opts.Distance, dists, scratch)
+			if err != nil {
+				return nil, nil, fmt.Errorf("geoloc: distance for user %q: %w", userID, err)
+			}
+			fresh[userID] = zi
+		}
+		out.Assignments[userID] = profile.OffsetOf(zi)
+		out.Counts[zi]++
+	}
+	o.Counter("placement.users_placed").Add(int64(len(users)))
+	o.Counter("placement.users_cached").Add(int64(len(users) - len(fresh)))
+	total := float64(len(profiles))
+	for zi, c := range out.Counts {
+		out.Histogram[zi] = float64(c) / total
+	}
+	return out, fresh, nil
+}

@@ -1,0 +1,130 @@
+package geoloc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"darkcrowd/internal/core/profile"
+)
+
+// randomProfiles builds n normalized random profiles plus a peaked generic
+// profile — enough structure for placement to spread users across zones.
+func randomProfiles(seed int64, n int) (map[string]profile.Profile, profile.Profile) {
+	rng := rand.New(rand.NewSource(seed))
+	var generic profile.Profile
+	total := 0.0
+	for h := range generic {
+		// Diurnal-ish shape: low at night, high in the evening.
+		generic[h] = 0.2 + float64(h%12) + 3*float64(h/18)
+		total += generic[h]
+	}
+	for h := range generic {
+		generic[h] /= total
+	}
+	profiles := make(map[string]profile.Profile, n)
+	for i := 0; i < n; i++ {
+		shifted := generic.Shift(rng.Intn(24))
+		var p profile.Profile
+		tot := 0.0
+		for h := range p {
+			p[h] = shifted[h] + 0.05*rng.Float64()
+			tot += p[h]
+		}
+		for h := range p {
+			p[h] /= tot
+		}
+		profiles[fmt.Sprintf("user-%03d", i)] = p
+	}
+	return profiles, generic
+}
+
+func placementsBitEqual(t *testing.T, got, want *Placement) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatal("assignments differ")
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Fatal("counts differ")
+	}
+	for zi := range want.Histogram {
+		if math.Float64bits(got.Histogram[zi]) != math.Float64bits(want.Histogram[zi]) {
+			t.Fatalf("histogram[%d]: %x vs %x", zi, math.Float64bits(got.Histogram[zi]), math.Float64bits(want.Histogram[zi]))
+		}
+	}
+}
+
+// TestPlaceUsersPartialMatchesPlaceUsers checks the dirty-set path against
+// the batch placer: cold (no cache), fully warm, and warm-with-dirty-users
+// must all be bit-identical to PlaceUsers, and fresh must list exactly the
+// users the cache couldn't answer.
+func TestPlaceUsersPartialMatchesPlaceUsers(t *testing.T) {
+	profiles, generic := randomProfiles(3, 60)
+	want, err := PlaceUsers(profiles, generic, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: every user is computed fresh.
+	cold, fresh, err := PlaceUsersPartial(profiles, generic, nil, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placementsBitEqual(t, cold, want)
+	if len(fresh) != len(profiles) {
+		t.Fatalf("cold run computed %d users, want %d", len(fresh), len(profiles))
+	}
+
+	// Warm: the cold run's zones answer everything; nothing recomputes.
+	warm, fresh2, err := PlaceUsersPartial(profiles, generic, fresh, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placementsBitEqual(t, warm, want)
+	if len(fresh2) != 0 {
+		t.Fatalf("warm run recomputed %d users", len(fresh2))
+	}
+
+	// Dirty: change a few profiles, drop them from the cache, and compare
+	// against a full batch run over the updated map.
+	rng := rand.New(rand.NewSource(9))
+	dirty := map[string]bool{"user-005": true, "user-017": true, "user-041": true}
+	for id := range dirty {
+		p := profiles[id].Shift(rng.Intn(24))
+		profiles[id] = p
+	}
+	known := make(map[string]int, len(fresh))
+	for id, zi := range fresh {
+		if !dirty[id] {
+			known[id] = zi
+		}
+	}
+	// A cache entry for a user no longer in the profile map must be ignored.
+	known["user-gone"] = 7
+	wantDirty, err := PlaceUsers(profiles, generic, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDirty, fresh3, err := PlaceUsersPartial(profiles, generic, known, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placementsBitEqual(t, gotDirty, wantDirty)
+	if len(fresh3) != len(dirty) {
+		t.Fatalf("dirty run computed %d users, want %d", len(fresh3), len(dirty))
+	}
+	for id := range dirty {
+		if _, ok := fresh3[id]; !ok {
+			t.Fatalf("dirty user %s not recomputed", id)
+		}
+	}
+}
+
+// TestPlaceUsersPartialEmpty mirrors PlaceUsers: no profiles is an error.
+func TestPlaceUsersPartialEmpty(t *testing.T) {
+	if _, _, err := PlaceUsersPartial(nil, profile.Uniform(), nil, PlaceOptions{}); err == nil {
+		t.Fatal("expected error for empty profile map")
+	}
+}

@@ -1,0 +1,133 @@
+package profile
+
+// Incremental profile accumulation for the streaming ingest daemon. The
+// batch builder (BuildUserProfiles) derives each user's Eq. 1 profile from
+// scratch: sort the packed epochDay*24+h cell keys, count distinct cells
+// per hour, divide. Accumulator maintains exactly those integer counts
+// post-by-post — a per-user set of seen cells, the per-hour distinct-cell
+// tally, and the distinct total — so the profile it emits divides the same
+// integers as fromCellKeys and is therefore bit-identical to the batch
+// build over the same posts, in any arrival order.
+//
+// Accumulator is not goroutine-safe; the daemon serializes access under
+// its state lock.
+
+// userCells is one user's running cell tally.
+type userCells struct {
+	posts    int             // raw post count (the MinPosts threshold input)
+	cells    map[int64]int32 // packed cell key -> posts seen in that cell
+	hours    [HoursPerDay]int32
+	distinct int    // number of distinct cells = sum(hours)
+	version  uint64 // bumped whenever the profile's value changes
+}
+
+// Accumulator builds Eq. 1 user profiles incrementally, one post at a
+// time. The zero value is not usable; construct with NewAccumulator.
+type Accumulator struct {
+	minPosts int
+	users    map[string]*userCells
+	posts    int
+}
+
+// NewAccumulator returns an empty accumulator with the given active-user
+// threshold (0 = DefaultMinPosts, matching BuildOptions.MinPosts).
+func NewAccumulator(minPosts int) *Accumulator {
+	if minPosts == 0 {
+		minPosts = DefaultMinPosts
+	}
+	return &Accumulator{minPosts: minPosts, users: make(map[string]*userCells)}
+}
+
+// MinPosts returns the active-user threshold.
+func (a *Accumulator) MinPosts() int { return a.minPosts }
+
+// Add records one post by userID at the given Unix second (UTC cell frame,
+// like the batch builder's default). It reports whether the user's profile
+// changed value — i.e. the post opened a previously unseen (day, hour)
+// activity cell; duplicate cells change only the post count.
+func (a *Accumulator) Add(userID string, unixSec int64) bool {
+	uc := a.users[userID]
+	if uc == nil {
+		uc = &userCells{cells: make(map[int64]int32)}
+		a.users[userID] = uc
+	}
+	uc.posts++
+	a.posts++
+	hour, day := cellOfUnix(unixSec)
+	key := cellKey(hour, day)
+	uc.cells[key]++
+	if uc.cells[key] > 1 {
+		return false
+	}
+	uc.hours[hour]++
+	uc.distinct++
+	uc.version++
+	return true
+}
+
+// Posts returns userID's raw post count (0 for unknown users).
+func (a *Accumulator) Posts(userID string) int {
+	if uc := a.users[userID]; uc != nil {
+		return uc.posts
+	}
+	return 0
+}
+
+// Version returns userID's profile version: it changes exactly when the
+// profile's value does, so (userID, version) keys derived results such as
+// cached zone placements. Unknown users have version 0.
+func (a *Accumulator) Version(userID string) uint64 {
+	if uc := a.users[userID]; uc != nil {
+		return uc.version
+	}
+	return 0
+}
+
+// TotalPosts returns the number of posts recorded so far.
+func (a *Accumulator) TotalPosts() int { return a.posts }
+
+// NumUsers returns the number of distinct users seen so far.
+func (a *Accumulator) NumUsers() int { return len(a.users) }
+
+// Active reports whether userID has reached the active-user threshold.
+func (a *Accumulator) Active(userID string) bool {
+	uc := a.users[userID]
+	return uc != nil && uc.posts >= a.minPosts
+}
+
+func (uc *userCells) profile() Profile {
+	var p Profile
+	total := float64(uc.distinct)
+	for h := range p {
+		p[h] = float64(uc.hours[h]) / total
+	}
+	return p
+}
+
+// ProfileOf returns userID's current profile. ok is false for unknown
+// users and users below the active threshold — the same users
+// BuildUserProfiles would drop.
+func (a *Accumulator) ProfileOf(userID string) (Profile, bool) {
+	uc := a.users[userID]
+	if uc == nil || uc.posts < a.minPosts || uc.distinct == 0 {
+		return Profile{}, false
+	}
+	return uc.profile(), true
+}
+
+// ActiveProfiles snapshots the profiles (and their versions) of every
+// active user. The result is bit-identical to
+// BuildUserProfiles(batch-of-the-same-posts, BuildOptions{MinPosts: ...}):
+// both divide the same per-hour distinct-cell integers by the same total.
+func (a *Accumulator) ActiveProfiles() (map[string]Profile, map[string]uint64) {
+	profiles := make(map[string]Profile)
+	versions := make(map[string]uint64)
+	for id, uc := range a.users {
+		if uc.posts < a.minPosts || uc.distinct == 0 {
+			continue
+		}
+		profiles[id] = uc.profile()
+		versions[id] = uc.version
+	}
+	return profiles, versions
+}

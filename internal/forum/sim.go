@@ -1,0 +1,78 @@
+package forum
+
+// The shared forum-simulation constructor. Both simulation front ends —
+// cmd/forumsim (the onion-routed end-to-end run) and its plain-HTTP serve
+// mode — host the same thing: a §V forum populated with its synthetic
+// ground-truth crowd on a skewed server clock. The scale-down arithmetic,
+// crowd synthesis and import used to be copy-pasted between the two
+// binaries; NewSim is the single path.
+
+import (
+	"fmt"
+	"time"
+
+	"darkcrowd/internal/synth"
+	"darkcrowd/internal/trace"
+)
+
+// ServeConfig parameterizes a simulated forum server.
+type ServeConfig struct {
+	// Forum is the §V forum name (synth.ForumSpecByName).
+	Forum string
+	// Seed drives the crowd synthesis.
+	Seed int64
+	// Scale divides the forum's paper census (1 = full size). Scaled specs
+	// keep at least 20 users and at least 50 posts per user, so the crowd
+	// stays geolocatable.
+	Scale int
+	// PageSize is the forum's posts-per-page (0 = DefaultPageSize).
+	PageSize int
+	// FailEvery and Latency are the fault knobs passed through to
+	// forum.Config, for crawler testing.
+	FailEvery int
+	Latency   time.Duration
+}
+
+// Sim is a ready-to-serve simulated forum plus the ground truth it hosts.
+type Sim struct {
+	// Forum holds the imported crowd; serve Forum.Handler().
+	Forum *Forum
+	// Spec is the (possibly scaled-down) census the crowd was built from.
+	Spec synth.ForumSpec
+	// Crowd is the ground-truth activity trace imported into the forum.
+	Crowd *trace.Dataset
+}
+
+// NewSim synthesizes cfg.Forum's crowd and imports it into a Forum with
+// the spec's server clock skew.
+func NewSim(cfg ServeConfig) (*Sim, error) {
+	spec, err := synth.ForumSpecByName(cfg.Forum)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scale > 1 {
+		spec.Users /= cfg.Scale
+		spec.Posts /= cfg.Scale
+		if spec.Users < 20 {
+			spec.Users = 20
+		}
+		if spec.Posts < spec.Users*50 {
+			spec.Posts = spec.Users * 50
+		}
+	}
+	crowd, err := synth.ForumCrowd(cfg.Seed, spec)
+	if err != nil {
+		return nil, err
+	}
+	f := New(Config{
+		Name:         spec.Name,
+		ServerOffset: time.Duration(spec.ServerOffsetHours) * time.Hour,
+		PageSize:     cfg.PageSize,
+		FailEvery:    cfg.FailEvery,
+		Latency:      cfg.Latency,
+	})
+	if err := f.ImportCrowd(crowd, ImportOptions{}); err != nil {
+		return nil, fmt.Errorf("forum: import crowd: %w", err)
+	}
+	return &Sim{Forum: f, Spec: spec, Crowd: crowd}, nil
+}

@@ -1,0 +1,40 @@
+package forum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSimScalesCensus(t *testing.T) {
+	sim, err := NewSim(ServeConfig{Forum: "CRD Club", Seed: 1, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Spec.Users != 209/8 {
+		t.Fatalf("scaled users = %d, want %d", sim.Spec.Users, 209/8)
+	}
+	if sim.Spec.Posts < sim.Spec.Users*50 {
+		t.Fatalf("scaled posts = %d, below the %d floor", sim.Spec.Posts, sim.Spec.Users*50)
+	}
+	if sim.Forum.NumMembers() == 0 || sim.Forum.NumPosts() == 0 {
+		t.Fatalf("forum empty: %d members, %d posts", sim.Forum.NumMembers(), sim.Forum.NumPosts())
+	}
+	if sim.Forum.NumPosts() != sim.Crowd.NumPosts() {
+		t.Fatalf("forum holds %d posts, crowd has %d", sim.Forum.NumPosts(), sim.Crowd.NumPosts())
+	}
+	// The tiny-census floor: an absurd scale still yields >= 20 users.
+	floor, err := NewSim(ServeConfig{Forum: "Italian DarkNet Community", Seed: 1, Scale: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.Spec.Users != 20 {
+		t.Fatalf("floored users = %d, want 20", floor.Spec.Users)
+	}
+}
+
+func TestNewSimUnknownForum(t *testing.T) {
+	_, err := NewSim(ServeConfig{Forum: "No Such Forum", Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown forum") {
+		t.Fatalf("err = %v", err)
+	}
+}

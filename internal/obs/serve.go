@@ -40,11 +40,19 @@ type DebugServer struct {
 // goroutine until Close is called. The bind is synchronous, so a bad
 // address fails here rather than silently in the background.
 func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler is Serve for an arbitrary handler — the same synchronous
+// bind-first contract ("serving on X" is only true once X is actually
+// bound, and :0 resolves to a real port) reused by long-running daemons
+// that serve more than the debug endpoints.
+func ServeHandler(addr string, h http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: bind debug server: %w", err)
+		return nil, fmt.Errorf("obs: bind server: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: h}
 	go func() {
 		// ErrServerClosed is the normal shutdown path; anything else has
 		// nowhere to go — the pipeline must not fail because its debug
@@ -52,6 +60,16 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 		_ = srv.Serve(ln)
 	}()
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Shutdown gracefully drains the server: the listener closes immediately
+// (no new connections) and in-flight requests run to completion or until
+// ctx expires, whichever comes first. Safe on a nil receiver.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }
 
 // Close shuts the debug server down, waiting briefly for in-flight

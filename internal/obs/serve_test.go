@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -72,5 +73,36 @@ func TestServeAndClose(t *testing.T) {
 	}
 	if _, err := Serve("256.256.256.256:0", reg); err == nil {
 		t.Error("bad address should fail to bind")
+	}
+}
+
+func TestServeHandlerShutdown(t *testing.T) {
+	t.Parallel()
+	srv, err := ServeHandler("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello"))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The listener is gone after a graceful drain.
+	if _, err := http.Get("http://" + srv.Addr + "/"); err == nil {
+		t.Error("server still accepting after Shutdown")
+	}
+	// Nil-receiver Shutdown is a no-op, like Close.
+	var nilSrv *DebugServer
+	if err := nilSrv.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
 	}
 }

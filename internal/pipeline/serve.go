@@ -1,0 +1,625 @@
+// The streaming half of the pipeline: a long-running geolocation daemon.
+// The batch path (Geolocate) is load → profile → place → fit over a frozen
+// trace; Daemon runs the same deterministic stages continuously over a
+// live post stream. The state split mirrors the storage design: an
+// immutable columnar base (trace.Head's compacted Dataset, checkpointed to
+// a .dcs snapshot) under a small mutable ingest tail, with incremental
+// integer cell counts (profile.Accumulator) and a version-keyed zone cache
+// (geoloc.PlaceUsersPartial) keeping per-post work O(changed state)
+// instead of O(corpus).
+//
+// Consistency model: every accepted post bumps a generation counter; a
+// report is the pure deterministic function of the post multiset at some
+// generation. /report recomputes when the cached report is stale, so a
+// drained daemon answers with exactly the report a batch run over the same
+// posts would print — bit-identical, any ingest interleaving (the
+// accumulator's integer cell counts are order-independent, and polish,
+// placement and the EM fit are deterministic functions of them).
+
+package pipeline
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"darkcrowd/internal/atomicio"
+	"darkcrowd/internal/core/geoloc"
+	"darkcrowd/internal/core/profile"
+	"darkcrowd/internal/obs"
+	"darkcrowd/internal/trace"
+)
+
+// ErrNoCrowd is returned by Report (and surfaced as 503 on /report) while
+// no user has reached the active-profile threshold yet.
+var ErrNoCrowd = errors.New("pipeline: no active users to geolocate yet")
+
+// DefaultCompactEvery is the ingest-tail size that triggers compaction
+// into the immutable base (and a snapshot write when configured).
+const DefaultCompactEvery = 1 << 16
+
+// DefaultRefitDebounce is the quiet period after the last ingest before
+// the background refitter recomputes the report cache.
+const DefaultRefitDebounce = 500 * time.Millisecond
+
+// maxIngestLine bounds one NDJSON line; longer lines are rejected.
+const maxIngestLine = 1 << 20
+
+// ingestChunk bounds how many parsed posts are applied per state-lock
+// acquisition, so a huge request body neither buffers fully in memory nor
+// starves concurrent readers.
+const ingestChunk = 4096
+
+// ServeConfig parameterizes a streaming geolocation daemon.
+type ServeConfig struct {
+	// Reference supplies the generic reference profile, exactly as in
+	// Config.Reference. Required; it runs once, synchronously, in NewDaemon.
+	Reference func() (*profile.GenericResult, error)
+	// MinPosts is the active-user threshold (0: profile.DefaultMinPosts).
+	MinPosts int
+	// SkipPolish disables flat-profile removal at report time.
+	SkipPolish bool
+	// MaxComponents bounds the GMM model search (0: the geoloc default).
+	MaxComponents int
+	// Workers sets the EM fit parallelism (0 = all cores). Reports are
+	// bit-identical for every setting.
+	Workers int
+	// SnapshotPath, when non-empty, checkpoints the compacted trace to
+	// this .dcs file (atomically, after each compaction and on Close) and
+	// warm-starts from it on boot.
+	SnapshotPath string
+	// CompactEvery folds the mutable ingest tail into the immutable base
+	// once it holds this many posts (0: DefaultCompactEvery).
+	CompactEvery int
+	// RefitDebounce is the quiet period before the background refitter
+	// refreshes the report cache (0: DefaultRefitDebounce; negative:
+	// background refits off — /report still recomputes on demand).
+	RefitDebounce time.Duration
+	// Obs, when non-nil, receives serve.* counters/gauges and the stage
+	// spans of every refit. Observation only.
+	Obs *obs.Observer
+}
+
+// ServeReport is the daemon's crowd report: the batch Geolocation plus
+// stream bookkeeping. Geo is bit-identical to what a batch Geolocate run
+// over the same posts would produce.
+type ServeReport struct {
+	// Gen is the ingest generation the report was computed at (the number
+	// of accepted posts, including warm-started ones).
+	Gen uint64 `json:"gen"`
+	// Posts and Users count the whole stream, active or not.
+	Posts int `json:"posts"`
+	Users int `json:"users"`
+	// ActiveUsers counts the profiles that reached placement (post
+	// threshold, minus polish removals).
+	ActiveUsers int `json:"active_users"`
+	// PolishRemoved counts flat profiles dropped at report time.
+	PolishRemoved int `json:"polish_removed"`
+	// Geo is the geolocation: placement, mixture, components, metrics.
+	Geo *geoloc.Geolocation `json:"geo"`
+}
+
+// zoneEntry is one cached per-user placement, valid while the user's
+// profile version still matches.
+type zoneEntry struct {
+	zone int
+	ver  uint64
+}
+
+// Daemon is a streaming geolocation service over an NDJSON post stream.
+// Construct with NewDaemon, expose Handler over HTTP, Close to flush.
+type Daemon struct {
+	cfg     ServeConfig
+	generic profile.Profile
+	o       *obs.Observer
+	start   time.Time
+
+	// mu guards the ingest state: accumulator, head bookkeeping, zone
+	// cache, generation counter and report cache pointers. Held only for
+	// O(batch) map work — never across a fit or a snapshot write.
+	mu      sync.Mutex
+	acc     *profile.Accumulator
+	head    *trace.Head
+	zones   map[string]zoneEntry
+	gen     uint64
+	report  *ServeReport // last computed report (nil until first success)
+	fitted  uint64       // generation `report` was computed at
+	rejects uint64
+
+	// fitMu serializes report computation; snapMu serializes snapshot
+	// writes. Both are taken without mu held.
+	fitMu  sync.Mutex
+	snapMu sync.Mutex
+
+	kick      chan struct{}
+	stop      context.CancelFunc
+	refitDone chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewDaemon builds the reference profile, warm-starts from
+// cfg.SnapshotPath when the file exists, and starts the background
+// refitter. The returned daemon is ready to serve; Close releases it.
+func NewDaemon(cfg ServeConfig) (*Daemon, error) {
+	if cfg.Reference == nil {
+		return nil, errors.New("pipeline: ServeConfig.Reference is required")
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	if cfg.RefitDebounce == 0 {
+		cfg.RefitDebounce = DefaultRefitDebounce
+	}
+	gen, err := cfg.Reference()
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		generic: gen.Generic,
+		o:       cfg.Obs,
+		start:   time.Now(),
+		acc:     profile.NewAccumulator(cfg.MinPosts),
+		zones:   make(map[string]zoneEntry),
+		kick:    make(chan struct{}, 1),
+	}
+	var base *trace.Dataset
+	if cfg.SnapshotPath != "" {
+		data, err := os.ReadFile(cfg.SnapshotPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to warm-start from.
+		case err != nil:
+			return nil, fmt.Errorf("pipeline: open snapshot: %w", err)
+		default:
+			base, err = trace.ReadSnapshotBytes(data)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: load snapshot %s: %w (delete it to start empty)", cfg.SnapshotPath, err)
+			}
+			for i := range base.Posts {
+				d.acc.Add(base.Posts[i].UserID, base.Posts[i].Time.Unix())
+				d.gen++
+			}
+			d.o.Counter("serve.snapshot_loads").Add(1)
+			d.o.Eventf("serve", "warm-started from snapshot", "posts", len(base.Posts))
+		}
+	}
+	d.head = trace.NewHead("serve", base)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.stop = cancel
+	d.refitDone = make(chan struct{})
+	if cfg.RefitDebounce > 0 {
+		go d.refitLoop(ctx)
+	} else {
+		close(d.refitDone)
+	}
+	return d, nil
+}
+
+// Close stops the background refitter and, when a snapshot path is
+// configured, compacts and writes a final snapshot. Idempotent.
+func (d *Daemon) Close() error {
+	d.closeOnce.Do(func() {
+		d.stop()
+		<-d.refitDone
+		if d.cfg.SnapshotPath != "" {
+			d.closeErr = d.writeSnapshot(d.head.Compact())
+		}
+	})
+	return d.closeErr
+}
+
+// refitLoop keeps the report cache warm: each ingest kicks it, it waits
+// for the stream to go quiet for RefitDebounce, then refits once. Errors
+// (e.g. no active users yet) are ignored — /report recomputes on demand.
+func (d *Daemon) refitLoop(ctx context.Context) {
+	defer close(d.refitDone)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.kick:
+		}
+		timer.Reset(d.cfg.RefitDebounce)
+	debounce:
+		for {
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-d.kick:
+				timer.Reset(d.cfg.RefitDebounce)
+			case <-timer.C:
+				break debounce
+			}
+		}
+		if _, err := d.Report(); err == nil {
+			d.o.Counter("serve.refits_background").Add(1)
+		}
+	}
+}
+
+// ingestPost is one NDJSON ingest line — the JSON shape of trace.Post.
+type ingestPost struct {
+	UserID string    `json:"user_id"`
+	Time   time.Time `json:"time"`
+}
+
+// IngestResult summarizes one ingest request.
+type IngestResult struct {
+	// Accepted counts posts applied to the stream state.
+	Accepted int `json:"accepted"`
+	// Rejected counts malformed lines skipped (lenient, like the CSV
+	// quarantine path); FirstError carries the first parse failure.
+	Rejected   int    `json:"rejected"`
+	FirstError string `json:"first_error,omitempty"`
+	// Posts and Users are stream totals after this request.
+	Posts int    `json:"posts"`
+	Users int    `json:"users"`
+	Gen   uint64 `json:"gen"`
+}
+
+// Ingest consumes an NDJSON stream — one {"user_id":..., "time":...}
+// object per line, the JSON shape of trace.Post — and applies it to the
+// stream state. Malformed lines are counted and skipped; a head capacity
+// error (trace.LimitError) aborts the request. Sub-second timestamp
+// precision is dropped, matching the columnar store's epoch-seconds
+// column.
+func (d *Daemon) Ingest(r io.Reader) (IngestResult, error) {
+	var res IngestResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxIngestLine)
+	batch := make([]ingestPost, 0, ingestChunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		var compacted *trace.Dataset
+		d.mu.Lock()
+		for _, p := range batch {
+			if err := d.head.Append(p.UserID, p.Time.Unix()); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+			d.acc.Add(p.UserID, p.Time.Unix())
+			d.gen++
+			res.Accepted++
+		}
+		if d.head.Pending() >= d.cfg.CompactEvery {
+			compacted = d.head.Compact()
+		}
+		d.mu.Unlock()
+		batch = batch[:0]
+		if compacted != nil {
+			d.o.Counter("serve.compactions").Add(1)
+			if d.cfg.SnapshotPath != "" {
+				if err := d.writeSnapshot(compacted); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		var p ingestPost
+		if err := json.Unmarshal(line, &p); err == nil && p.UserID != "" && !p.Time.IsZero() {
+			batch = append(batch, p)
+			if len(batch) >= ingestChunk {
+				if err := flush(); err != nil {
+					return res, err
+				}
+			}
+			continue
+		}
+		res.Rejected++
+		if res.FirstError == "" {
+			res.FirstError = fmt.Sprintf("bad line %d: want {\"user_id\":string,\"time\":RFC3339}", res.Accepted+len(batch)+res.Rejected)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("pipeline: read ingest body: %w", err)
+	}
+	if err := flush(); err != nil {
+		return res, err
+	}
+	d.mu.Lock()
+	res.Posts = d.acc.TotalPosts()
+	res.Users = d.acc.NumUsers()
+	res.Gen = d.gen
+	d.rejects += uint64(res.Rejected)
+	d.mu.Unlock()
+	d.o.Counter("serve.posts_ingested").Add(int64(res.Accepted))
+	d.o.Counter("serve.lines_rejected").Add(int64(res.Rejected))
+	d.o.Gauge("serve.posts").Set(int64(res.Posts))
+	d.o.Gauge("serve.users").Set(int64(res.Users))
+	if res.Accepted > 0 {
+		select { // wake the debounced refitter without blocking
+		case d.kick <- struct{}{}:
+		default:
+		}
+	}
+	return res, nil
+}
+
+// trimSpace is bytes.TrimSpace for the blank-line check without importing
+// bytes just for it.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	return b
+}
+
+// writeSnapshot persists an immutable compacted dataset atomically.
+// Serialized so overlapping compactions can't interleave tmp files; the
+// dataset itself is immutable, so no state lock is held.
+func (d *Daemon) writeSnapshot(ds *trace.Dataset) error {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	if err := atomicio.WriteFile(d.cfg.SnapshotPath, ds.WriteSnapshot); err != nil {
+		return fmt.Errorf("pipeline: save snapshot: %w", err)
+	}
+	d.o.Counter("serve.snapshot_writes").Add(1)
+	return nil
+}
+
+// Report returns the crowd report for the current generation, serving the
+// cache when fresh and recomputing otherwise. A drained daemon (no
+// concurrent ingest) therefore always reports on every accepted post.
+func (d *Daemon) Report() (*ServeReport, error) {
+	d.mu.Lock()
+	if d.report != nil && d.fitted == d.gen {
+		rep := d.report
+		d.mu.Unlock()
+		return rep, nil
+	}
+	d.mu.Unlock()
+	return d.refit()
+}
+
+// refit computes the report for the generation observed at snapshot time.
+// The state lock is held only to snapshot profiles/cache and to write
+// results back; the polish/placement/EM work runs outside it, serialized
+// by fitMu so concurrent /report calls don't duplicate the fit.
+func (d *Daemon) refit() (*ServeReport, error) {
+	d.fitMu.Lock()
+	defer d.fitMu.Unlock()
+
+	d.mu.Lock()
+	if d.report != nil && d.fitted == d.gen {
+		rep := d.report
+		d.mu.Unlock()
+		return rep, nil
+	}
+	g := d.gen
+	profiles, versions := d.acc.ActiveProfiles()
+	known := make(map[string]int, len(d.zones))
+	for id := range profiles {
+		if e, ok := d.zones[id]; ok && e.ver == versions[id] {
+			known[id] = e.zone
+		}
+	}
+	posts, users := d.acc.TotalPosts(), d.acc.NumUsers()
+	d.mu.Unlock()
+
+	if len(profiles) == 0 {
+		return nil, ErrNoCrowd
+	}
+	polishRemoved := 0
+	kept := profiles
+	if !d.cfg.SkipPolish {
+		po := d.o.Stage("polish")
+		polished, err := profile.Polish(profiles, d.generic, true)
+		po.End()
+		if err != nil {
+			return nil, err
+		}
+		kept = polished.Kept
+		polishRemoved = len(polished.Removed)
+		if len(kept) == 0 {
+			return nil, ErrNoCrowd
+		}
+	}
+	placement, fresh, err := geoloc.PlaceUsersPartial(kept, d.generic, known, geoloc.PlaceOptions{Obs: d.o})
+	if err != nil {
+		return nil, err
+	}
+	geo, err := geoloc.FitPlacement(placement, geoloc.GeolocateOptions{
+		MaxComponents: d.cfg.MaxComponents,
+		Place:         geoloc.PlaceOptions{Parallelism: d.cfg.Workers},
+		Obs:           d.o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServeReport{
+		Gen:           g,
+		Posts:         posts,
+		Users:         users,
+		ActiveUsers:   len(kept),
+		PolishRemoved: polishRemoved,
+		Geo:           geo,
+	}
+	d.o.Counter("serve.refits").Add(1)
+	d.o.Counter("serve.placements_fresh").Add(int64(len(fresh)))
+	d.o.Counter("serve.placements_cached").Add(int64(len(kept) - len(fresh)))
+
+	d.mu.Lock()
+	// Freshly computed zones are valid for the profile versions captured
+	// in the snapshot; staleness is re-checked against the live version on
+	// every later read, so writing them back unconditionally is safe even
+	// if the user changed mid-fit.
+	for id, zi := range fresh {
+		d.zones[id] = zoneEntry{zone: zi, ver: versions[id]}
+	}
+	if d.report == nil || g >= d.fitted {
+		d.report, d.fitted = rep, g
+	}
+	d.mu.Unlock()
+	return rep, nil
+}
+
+// PlaceResult is the /place/{user} response.
+type PlaceResult struct {
+	UserID string `json:"user_id"`
+	Posts  int    `json:"posts"`
+	// Active reports whether the user reached the profile threshold;
+	// Offset/ZoneIndex are only present when it did.
+	Active    bool   `json:"active"`
+	Offset    string `json:"offset,omitempty"`
+	ZoneIndex *int   `json:"zone_index,omitempty"`
+}
+
+// Place answers the per-user placement question: the zone whose reference
+// profile is EMD-nearest to the user's current raw profile (pre-polish —
+// flat-profile removal is a crowd-level report step). Placements are
+// served from the version-keyed cache when the profile hasn't changed.
+// ok is false for users the stream has never seen.
+func (d *Daemon) Place(userID string) (PlaceResult, bool) {
+	d.mu.Lock()
+	posts := d.acc.Posts(userID)
+	if posts == 0 {
+		d.mu.Unlock()
+		return PlaceResult{}, false
+	}
+	res := PlaceResult{UserID: userID, Posts: posts}
+	p, active := d.acc.ProfileOf(userID)
+	if !active {
+		d.mu.Unlock()
+		return res, true
+	}
+	res.Active = true
+	ver := d.acc.Version(userID)
+	if e, ok := d.zones[userID]; ok && e.ver == ver {
+		d.mu.Unlock()
+		zi := e.zone
+		res.ZoneIndex = &zi
+		res.Offset = profile.OffsetOf(zi).String()
+		d.o.Counter("serve.placements_cached").Add(1)
+		return res, true
+	}
+	d.mu.Unlock()
+	// Compute outside the lock: the EMD kernel needs only the profile
+	// copy. single-user map keeps the shared partial-placement path.
+	one := map[string]profile.Profile{userID: p}
+	placement, _, err := geoloc.PlaceUsersPartial(one, d.generic, nil, geoloc.PlaceOptions{})
+	if err != nil {
+		return res, true // active but unplaceable; report bare activity
+	}
+	zi := profile.ZoneIndex(placement.Assignments[userID])
+	res.ZoneIndex = &zi
+	res.Offset = profile.OffsetOf(zi).String()
+	d.o.Counter("serve.placements_fresh").Add(1)
+	d.mu.Lock()
+	if d.acc.Version(userID) == ver {
+		d.zones[userID] = zoneEntry{zone: zi, ver: ver}
+	}
+	d.mu.Unlock()
+	return res, true
+}
+
+// Health is the /healthz response.
+type Health struct {
+	Status    string `json:"status"`
+	Posts     int    `json:"posts"`
+	Users     int    `json:"users"`
+	Gen       uint64 `json:"gen"`
+	FittedGen uint64 `json:"fitted_gen"`
+	Rejected  uint64 `json:"rejected_lines"`
+	UptimeSec int64  `json:"uptime_sec"`
+}
+
+// Healthz snapshots the daemon's liveness state.
+func (d *Daemon) Healthz() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Health{
+		Status:    "ok",
+		Posts:     d.acc.TotalPosts(),
+		Users:     d.acc.NumUsers(),
+		Gen:       d.gen,
+		FittedGen: d.fitted,
+		Rejected:  d.rejects,
+		UptimeSec: int64(time.Since(d.start) / time.Second),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /ingest        NDJSON post stream (one trace.Post object per line)
+//	GET  /place/{user}  one user's current placement
+//	GET  /report        the crowd report (recomputed when stale)
+//	GET  /healthz       liveness and stream counters
+//
+// When the daemon was built with an observing ServeConfig.Obs carrying a
+// metrics registry, /metrics and /debug/pprof/* are mounted too (the
+// obs.Handler surface).
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		res, err := d.Ingest(r.Body)
+		if err != nil {
+			writeJSON(w, http.StatusInsufficientStorage, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /place/{user}", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := d.Place(r.PathValue("user"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown user"})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := d.Report()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNoCrowd) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Healthz())
+	})
+	if d.o != nil && d.o.Metrics != nil {
+		debug := obs.Handler(d.o.Metrics)
+		mux.Handle("GET /metrics", debug)
+		mux.Handle("/debug/pprof/", debug)
+	}
+	return mux
+}

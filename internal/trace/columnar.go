@@ -21,6 +21,8 @@ package trace
 // index once before fanning out).
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -173,16 +175,43 @@ func (s *Store) PostPositions(u int) []int32 {
 	return s.posts[s.offsets[u]:s.offsets[u+1]]
 }
 
+// LimitError reports that a Builder hit a columnar capacity ceiling: the
+// store carries user ordinals and post positions as int32, so interning
+// user number 2^31 (or recording post number 2^31) would silently wrap the
+// ordinal and scatter that user's posts into another user's CSR range.
+// The Builder refuses instead.
+type LimitError struct {
+	// What names the exhausted dimension: "users" or "posts".
+	What string
+	// Limit is the capacity that was hit.
+	Limit int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("trace: builder %s limit reached (%d): int32 ordinals would wrap and corrupt the columnar store", e.What, e.Limit)
+}
+
 // Builder accumulates an activity trace column-wise — int32 user indices
 // and int64 epoch seconds instead of (string, time.Time) rows — and
 // materializes a Dataset once at the end. The synthetic crowd generator
 // writes straight into a Builder, which keeps its per-post hot loop free of
 // string hashing and time.Time construction.
+//
+// Both dimensions are capped at math.MaxInt32 (the ordinal width of the
+// columnar store); TryUser/TryAdd return a *LimitError at the ceiling,
+// User/Add panic with the same message.
 type Builder struct {
 	ids    []string
 	lookup map[string]int32
 	userOf []int32
 	when   []int64
+
+	// userCap/postCap are the ordinal ceilings — math.MaxInt32 when zero.
+	// Tests inject small caps to exercise the boundary without interning
+	// two billion users.
+	userCap int
+	postCap int
 }
 
 // NewBuilder returns a Builder, preallocating for postHint posts (0 is
@@ -195,22 +224,66 @@ func NewBuilder(postHint int) *Builder {
 	}
 }
 
-// User interns a user ID, returning its dense index for Add. Interning once
-// per user moves the string hashing out of the per-post loop.
-func (b *Builder) User(id string) int32 {
+func (b *Builder) userLimit() int {
+	if b.userCap > 0 {
+		return b.userCap
+	}
+	return math.MaxInt32
+}
+
+func (b *Builder) postLimit() int {
+	if b.postCap > 0 {
+		return b.postCap
+	}
+	return math.MaxInt32
+}
+
+// TryUser interns a user ID, returning its dense index for Add. Interning
+// once per user moves the string hashing out of the per-post loop. When
+// interning one more user would overflow the int32 ordinal space it returns
+// a *LimitError and interns nothing.
+func (b *Builder) TryUser(id string) (int32, error) {
 	if u, ok := b.lookup[id]; ok {
-		return u
+		return u, nil
+	}
+	if len(b.ids) >= b.userLimit() {
+		return 0, &LimitError{What: "users", Limit: b.userLimit()}
 	}
 	u := int32(len(b.ids))
 	b.lookup[id] = u
 	b.ids = append(b.ids, id)
+	return u, nil
+}
+
+// User is TryUser for callers with bounded inputs (the synthetic
+// generators); it panics with a clear message instead of wrapping the
+// ordinal if the builder is full.
+func (b *Builder) User(id string) int32 {
+	u, err := b.TryUser(id)
+	if err != nil {
+		panic(err.Error())
+	}
 	return u
 }
 
-// Add records one post: the interned user posted at the given Unix second.
-func (b *Builder) Add(user int32, unixSec int64) {
+// TryAdd records one post: the interned user posted at the given Unix
+// second. When recording one more post would overflow the int32 position
+// space of the columnar store it returns a *LimitError and records nothing.
+func (b *Builder) TryAdd(user int32, unixSec int64) error {
+	if len(b.userOf) >= b.postLimit() {
+		return &LimitError{What: "posts", Limit: b.postLimit()}
+	}
 	b.userOf = append(b.userOf, user)
 	b.when = append(b.when, unixSec)
+	return nil
+}
+
+// Add is TryAdd for callers with bounded inputs; it panics with a clear
+// message instead of corrupting the store if the builder is full.
+func (b *Builder) Add(user int32, unixSec int64) {
+	if err := b.TryAdd(user, unixSec); err != nil {
+		panic(err.Error())
+	}
 }
 
 // NumPosts returns the number of posts recorded so far.

@@ -1,0 +1,92 @@
+package trace
+
+// The mutable ingest head. The columnar Store (and the .dcs snapshot
+// format built on it) is deliberately immutable: every reader shares it
+// without coordination, and one dataset has exactly one byte
+// representation. A long-running ingest daemon needs the complement — a
+// small, mutable, concurrency-safe tail that absorbs live posts and is
+// periodically compacted into a fresh immutable Dataset. Head is that
+// tail: a mutex-guarded Builder stacked on top of an immutable base
+// Dataset. Appends go to the Builder; Compact folds the tail into a new
+// base (suitable for WriteSnapshot) and resets the tail to empty.
+
+import "sync"
+
+// Head is a concurrency-safe mutable ingest head over an immutable base
+// Dataset. All methods are safe for concurrent use. The base Dataset and
+// every Dataset returned by Compact are immutable and must not be
+// mutated by callers.
+type Head struct {
+	mu   sync.Mutex
+	name string
+	base *Dataset // immutable; nil means empty
+	tail *Builder // pending posts since the last compaction
+}
+
+// NewHead returns a Head named name on top of base (nil for an empty
+// head). The caller hands ownership of base to the head and must not
+// mutate it afterwards.
+func NewHead(name string, base *Dataset) *Head {
+	return &Head{name: name, base: base, tail: NewBuilder(0)}
+}
+
+// Append records one post in the mutable tail. It returns a *LimitError
+// (and records nothing) if the tail would overflow the columnar ordinal
+// space — see Builder.TryUser/TryAdd.
+func (h *Head) Append(userID string, unixSec int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u, err := h.tail.TryUser(userID)
+	if err != nil {
+		return err
+	}
+	return h.tail.TryAdd(u, unixSec)
+}
+
+// Pending returns the number of posts in the mutable tail, i.e. appended
+// since the last Compact.
+func (h *Head) Pending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tail.NumPosts()
+}
+
+// TotalPosts returns the number of posts in the head: compacted base plus
+// mutable tail.
+func (h *Head) TotalPosts() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.tail.NumPosts()
+	if h.base != nil {
+		n += len(h.base.Posts)
+	}
+	return n
+}
+
+// Compact folds the mutable tail into a fresh immutable base Dataset and
+// resets the tail to empty. The returned Dataset is safe to share, index
+// and snapshot (WriteSnapshot) without further coordination — later
+// Appends go to the new tail and never touch it. Posts keep arrival
+// order: base posts first, then tail posts in append order, exactly the
+// sequence a batch ingest of the same stream would hold.
+func (h *Head) Compact() *Dataset {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tail.NumPosts() == 0 && h.base != nil {
+		return h.base
+	}
+	fresh := h.tail.Dataset(h.name, false)
+	if h.base != nil && len(h.base.Posts) > 0 {
+		merged := &Dataset{
+			Name:        h.name,
+			Posts:       make([]Post, 0, len(h.base.Posts)+len(fresh.Posts)),
+			GroundTruth: copyGroundTruth(h.base.GroundTruth),
+		}
+		merged.Posts = append(merged.Posts, h.base.Posts...)
+		merged.Posts = append(merged.Posts, fresh.Posts...)
+		fresh = merged
+	}
+	h.base = fresh
+	h.tail = NewBuilder(0)
+	return h.base
+}

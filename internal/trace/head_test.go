@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBuilderUserLimit drives TryUser into the ordinal ceiling through a
+// small injected cap: the boundary behaviour is identical at
+// math.MaxInt32, just not testable there.
+func TestBuilderUserLimit(t *testing.T) {
+	b := NewBuilder(0)
+	b.userCap = 3
+	for i := 0; i < 3; i++ {
+		u, err := b.TryUser(fmt.Sprintf("u%d", i))
+		if err != nil {
+			t.Fatalf("TryUser(%d): %v", i, err)
+		}
+		if u != int32(i) {
+			t.Fatalf("TryUser(%d) = %d", i, u)
+		}
+	}
+	// Re-interning an existing user is a lookup, not an allocation — it
+	// must still succeed at the cap.
+	if u, err := b.TryUser("u1"); err != nil || u != 1 {
+		t.Fatalf("TryUser(existing) = %d, %v", u, err)
+	}
+	_, err := b.TryUser("u3")
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("TryUser past cap: got %v, want *LimitError", err)
+	}
+	if le.What != "users" || le.Limit != 3 {
+		t.Fatalf("LimitError = %+v", le)
+	}
+	if b.NumPosts() != 0 || len(b.ids) != 3 {
+		t.Fatalf("failed intern mutated the builder: %d users", len(b.ids))
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("User past cap did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "users limit") {
+			t.Fatalf("panic message %v", r)
+		}
+	}()
+	b.User("u4")
+}
+
+// TestBuilderAddLimit is the post-position twin of TestBuilderUserLimit.
+func TestBuilderAddLimit(t *testing.T) {
+	b := NewBuilder(0)
+	b.postCap = 2
+	u := b.User("alice")
+	for i := 0; i < 2; i++ {
+		if err := b.TryAdd(u, int64(i)); err != nil {
+			t.Fatalf("TryAdd(%d): %v", i, err)
+		}
+	}
+	err := b.TryAdd(u, 2)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("TryAdd past cap: got %v, want *LimitError", err)
+	}
+	if le.What != "posts" || le.Limit != 2 {
+		t.Fatalf("LimitError = %+v", le)
+	}
+	if b.NumPosts() != 2 {
+		t.Fatalf("failed add mutated the builder: %d posts", b.NumPosts())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add past cap did not panic")
+		}
+	}()
+	b.Add(u, 2)
+}
+
+// TestHeadAppendCompact checks that a head fed post-by-post compacts into
+// exactly the Dataset a batch build of the same stream would hold —
+// arrival order preserved across multiple compactions.
+func TestHeadAppendCompact(t *testing.T) {
+	stream := []Post{
+		{UserID: "bob", Time: time.Unix(100, 0).UTC()},
+		{UserID: "alice", Time: time.Unix(50, 0).UTC()},
+		{UserID: "bob", Time: time.Unix(7200, 0).UTC()},
+		{UserID: "carol", Time: time.Unix(3600, 0).UTC()},
+		{UserID: "alice", Time: time.Unix(99, 0).UTC()},
+	}
+	h := NewHead("head", nil)
+	for i, p := range stream {
+		if err := h.Append(p.UserID, p.Time.Unix()); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 { // compact mid-stream: the rest lands in a fresh tail
+			h.Compact()
+			if got := h.Pending(); got != 0 {
+				t.Fatalf("Pending after Compact = %d", got)
+			}
+		}
+	}
+	if got := h.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	if got := h.TotalPosts(); got != len(stream) {
+		t.Fatalf("TotalPosts = %d, want %d", got, len(stream))
+	}
+	ds := h.Compact()
+	if !reflect.DeepEqual(ds.Posts, stream) {
+		t.Fatalf("compacted posts:\n%v\nwant:\n%v", ds.Posts, stream)
+	}
+	// Compacting an unchanged head is a no-op returning the same base.
+	if again := h.Compact(); again != ds {
+		t.Fatal("Compact with empty tail rebuilt the base")
+	}
+	// The compacted dataset indexes like any batch dataset.
+	if ds.Index().NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d", ds.Index().NumUsers())
+	}
+}
+
+// TestHeadLimitPropagates injects a tiny post cap into the head's tail and
+// checks the typed error surfaces through Append without corrupting state.
+func TestHeadLimitPropagates(t *testing.T) {
+	h := NewHead("head", nil)
+	h.tail.postCap = 2
+	h.tail.userCap = 2
+	if err := h.Append("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Append("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	var le *LimitError
+	if err := h.Append("a", 3); !errors.As(err, &le) || le.What != "posts" {
+		t.Fatalf("Append past post cap: %v", err)
+	}
+	if err := h.Append("c", 3); !errors.As(err, &le) || le.What != "users" {
+		t.Fatalf("Append past user cap: %v", err)
+	}
+	if got := h.Pending(); got != 2 {
+		t.Fatalf("failed appends mutated the head: Pending = %d", got)
+	}
+}
+
+// TestHeadConcurrentAppend hammers Append from many goroutines with
+// interleaved Compact/TotalPosts calls; the drained head must hold every
+// post exactly once. Run under -race this is the mutable head's safety
+// gate.
+func TestHeadConcurrentAppend(t *testing.T) {
+	const writers, perWriter = 8, 200
+	h := NewHead("head", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := h.Append(fmt.Sprintf("w%d-u%d", w, i%5), int64(w*perWriter+i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%64 == 0 {
+					h.Compact()
+					_ = h.TotalPosts()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ds := h.Compact()
+	if len(ds.Posts) != writers*perWriter {
+		t.Fatalf("compacted %d posts, want %d", len(ds.Posts), writers*perWriter)
+	}
+	// Every appended (user, second) pair survived exactly once.
+	got := make([]string, 0, len(ds.Posts))
+	for _, p := range ds.Posts {
+		got = append(got, fmt.Sprintf("%s@%d", p.UserID, p.Time.Unix()))
+	}
+	sort.Strings(got)
+	want := make([]string, 0, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			want = append(want, fmt.Sprintf("w%d-u%d@%d", w, i%5, w*perWriter+i))
+		}
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("concurrent appends lost or duplicated posts")
+	}
+}
