@@ -4,11 +4,12 @@ package main
 // machine-readable report (BENCH_placement.json at the repo root).
 //
 // The report pins three things per workload: ns/op, B/op and allocs/op, as
-// produced by testing.Benchmark on the same synthetic Twitter dataset the
-// experiments use. It also embeds the pre-columnar baseline — the numbers
-// the same workloads measured before the columnar trace store, the integer
-// profile builder and the all-rotations EMD kernel landed — so the speedup
-// columns in EXPERIMENTS.md can be regenerated from one place.
+// produced by the shared internal/bench harness on the same synthetic
+// Twitter dataset the experiments use. It also embeds the pre-columnar
+// baseline — the numbers the same workloads measured before the columnar
+// trace store, the integer profile builder and the all-rotations EMD
+// kernel landed — so the speedup columns in EXPERIMENTS.md can be
+// regenerated from one place.
 //
 //	benchgen -bench                          # run suite, write BENCH_placement.json
 //	benchgen -bench -bench-out out.json      # write elsewhere
@@ -23,13 +24,13 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"testing"
 
+	"darkcrowd/internal/bench"
 	"darkcrowd/internal/core/geoloc"
 	"darkcrowd/internal/core/profile"
 	"darkcrowd/internal/stats"
@@ -37,42 +38,11 @@ import (
 	"darkcrowd/internal/trace"
 )
 
-// benchMetric is one workload's measurement.
-type benchMetric struct {
-	NsPerOp     int64 `json:"ns_per_op"`
-	BytesPerOp  int64 `json:"bytes_per_op"`
-	AllocsPerOp int64 `json:"allocs_per_op"`
-}
-
-// benchReport is the schema of BENCH_placement.json.
-type benchReport struct {
-	Tool         string                 `json:"tool"`
-	GoVersion    string                 `json:"go_version"`
-	GOOS         string                 `json:"goos"`
-	GOARCH       string                 `json:"goarch"`
-	TwitterScale int                    `json:"twitter_scale"`
-	Seed         int64                  `json:"seed"`
-	Workloads    map[string]benchMetric `json:"workloads"`
-	// Baseline holds the pre-columnar measurements for this scale (empty
-	// for scales the baseline was never captured at).
-	Baseline map[string]benchMetric `json:"baseline,omitempty"`
-	// SpeedupNs and AllocRatio are baseline/current ratios (>1 = faster,
-	// fewer allocations), derived, kept in the file for easy reading.
-	SpeedupNs  map[string]float64 `json:"speedup_ns,omitempty"`
-	AllocRatio map[string]float64 `json:"alloc_ratio,omitempty"`
-	// Ratios holds derived cross-workload speedups (e.g. snapshot load vs
-	// CSV parse) — the numbers the ingest suite's hard gates check.
-	Ratios map[string]float64 `json:"ratios,omitempty"`
-	// IngestWorkers is the sharded-parser worker count the ingest suite
-	// ran with (0 for the placement suite).
-	IngestWorkers int `json:"ingest_workers,omitempty"`
-}
-
 // preColumnarBaseline holds the tracked workloads as measured at commit
 // 472e580 (row-oriented Dataset, string-keyed profile builder, one
 // EMDCircular call per zone), on the same class of machine CI uses
 // (Intel Xeon @ 2.10GHz, GOMAXPROCS=1). Keyed by twitter scale.
-var preColumnarBaseline = map[int]map[string]benchMetric{
+var preColumnarBaseline = map[int]map[string]bench.Metric{
 	20: {
 		"profile_build":         {NsPerOp: 65962482, BytesPerOp: 23944541, AllocsPerOp: 329148},
 		"generic_profile_build": {NsPerOp: 143575089, BytesPerOp: 62598403, AllocsPerOp: 327494},
@@ -93,7 +63,7 @@ var preColumnarBaseline = map[int]map[string]benchMetric{
 
 // runBench measures the tracked workloads and writes the JSON report to
 // outPath. A non-empty checkPath additionally gates the run on the report
-// committed there (see checkAgainst).
+// committed there (see bench.CheckRegression).
 func runBench(scale int, seed int64, outPath, checkPath string, cpuProfile, memProfile string) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -189,57 +159,21 @@ func runBench(scale int, seed int64, outPath, checkPath string, cpuProfile, memP
 		}},
 	}
 
-	report := benchReport{
-		Tool:         "benchgen -bench",
-		GoVersion:    runtime.Version(),
-		GOOS:         runtime.GOOS,
-		GOARCH:       runtime.GOARCH,
-		TwitterScale: scale,
-		Seed:         seed,
-		Workloads:    make(map[string]benchMetric, len(workloads)),
-	}
+	report := bench.NewReport("benchgen -bench", scale, seed)
 	for _, w := range workloads {
-		res := testing.Benchmark(w.fn)
-		m := benchMetric{
-			NsPerOp:     res.NsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-		}
-		report.Workloads[w.name] = m
-		fmt.Printf("%-24s %12d ns/op %12d B/op %10d allocs/op\n",
-			w.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		report.RunMinOf(os.Stdout, w.name, 1, w.fn)
 	}
-
-	if base, ok := preColumnarBaseline[scale]; ok {
-		report.Baseline = base
-		report.SpeedupNs = make(map[string]float64, len(base))
-		report.AllocRatio = make(map[string]float64, len(base))
-		for name, b := range base {
-			cur, ok := report.Workloads[name]
-			if !ok || cur.NsPerOp == 0 {
-				continue
-			}
-			report.SpeedupNs[name] = round2(float64(b.NsPerOp) / float64(cur.NsPerOp))
-			if cur.AllocsPerOp > 0 {
-				report.AllocRatio[name] = round2(float64(b.AllocsPerOp) / float64(cur.AllocsPerOp))
-			}
-		}
-	}
+	report.DeriveBaseline(preColumnarBaseline[scale])
 
 	if checkPath != "" {
-		if code := checkAgainst(checkPath, report.Workloads); code != 0 {
-			return code
+		if err := bench.CheckRegression(os.Stdout, checkPath, report.Workloads, 2); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: -check: %v\n", err)
+			return 1
 		}
 	}
 
-	out, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: marshal report: %v\n", err)
-		return 1
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(outPath, out, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: write %s: %v\n", outPath, err)
+	if err := report.WriteFile(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 		return 1
 	}
 	fmt.Printf("wrote %s\n", outPath)
@@ -258,48 +192,4 @@ func runBench(scale int, seed int64, outPath, checkPath string, cpuProfile, memP
 		}
 	}
 	return 0
-}
-
-// checkAgainst gates a fresh run on the report previously committed at
-// path: any tracked workload whose ns/op grew by more than 2x fails. The
-// 2x threshold is deliberately loose — CI runners are shared and noisy —
-// so a failure means a real regression, not jitter.
-func checkAgainst(path string, fresh map[string]benchMetric) int {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "benchgen: -check: no committed report at %s, skipping gate\n", path)
-			return 0
-		}
-		fmt.Fprintf(os.Stderr, "benchgen: -check: %v\n", err)
-		return 1
-	}
-	var committed benchReport
-	if err := json.Unmarshal(raw, &committed); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: -check: parse %s: %v\n", path, err)
-		return 1
-	}
-	failures := 0
-	for name, old := range committed.Workloads {
-		cur, ok := fresh[name]
-		if !ok || old.NsPerOp <= 0 {
-			continue
-		}
-		ratio := float64(cur.NsPerOp) / float64(old.NsPerOp)
-		if ratio > 2 {
-			fmt.Fprintf(os.Stderr, "benchgen: -check: %s regressed %.2fx (%d -> %d ns/op)\n",
-				name, ratio, old.NsPerOp, cur.NsPerOp)
-			failures++
-		}
-	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgen: -check: %d workload(s) regressed more than 2x\n", failures)
-		return 1
-	}
-	fmt.Printf("check passed: no workload more than 2x slower than %s\n", path)
-	return 0
-}
-
-func round2(x float64) float64 {
-	return float64(int64(x*100+0.5)) / 100
 }

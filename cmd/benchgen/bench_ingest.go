@@ -17,12 +17,11 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 
+	"darkcrowd/internal/bench"
 	"darkcrowd/internal/core/profile"
 	"darkcrowd/internal/synth"
 	"darkcrowd/internal/trace"
@@ -121,77 +120,34 @@ func runIngestBench(scale int, seed int64, workers int, outPath, checkPath strin
 		}},
 	}
 
-	report := benchReport{
-		Tool:          "benchgen -bench-ingest",
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		TwitterScale:  scale,
-		Seed:          seed,
-		IngestWorkers: workers,
-		Workloads:     make(map[string]benchMetric, len(workloads)),
-	}
+	report := bench.NewReport("benchgen -bench-ingest", scale, seed)
+	report.IngestWorkers = workers
 	for _, w := range workloads {
-		// Keep the fastest of three runs: the minimum is the least noisy
-		// estimator of a workload's true cost — slower runs measure GC and
-		// scheduler luck, and the speedup gates need stable ratios.
-		res := testing.Benchmark(w.fn)
-		for run := 1; run < 3; run++ {
-			if again := testing.Benchmark(w.fn); again.NsPerOp() < res.NsPerOp() {
-				res = again
-			}
-		}
-		m := benchMetric{
-			NsPerOp:     res.NsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-		}
-		report.Workloads[w.name] = m
-		fmt.Printf("%-24s %12d ns/op %12d B/op %10d allocs/op\n",
-			w.name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
-	}
-
-	ratio := func(num, den string) float64 {
-		if d := report.Workloads[den].NsPerOp; d > 0 {
-			return round2(float64(report.Workloads[num].NsPerOp) / float64(d))
-		}
-		return 0
+		report.RunMinOf(os.Stdout, w.name, 3, w.fn)
 	}
 	report.Ratios = map[string]float64{
-		"snapshot_load_speedup_vs_csv_read": ratio("csv_read", "snapshot_load"),
-		"parallel_read_speedup_vs_csv_read": ratio("csv_read", "csv_read_parallel"),
-		"ingest_fused_speedup_vs_seq":       ratio("ingest_seq", "ingest_fused"),
+		"snapshot_load_speedup_vs_csv_read": report.Ratio("csv_read", "snapshot_load"),
+		"parallel_read_speedup_vs_csv_read": report.Ratio("csv_read", "csv_read_parallel"),
+		"ingest_fused_speedup_vs_seq":       report.Ratio("ingest_seq", "ingest_fused"),
 	}
 	for name, val := range report.Ratios {
 		fmt.Printf("%-36s %6.2fx\n", name, val)
 	}
 
 	if checkPath != "" {
-		if code := checkAgainst(checkPath, report.Workloads); code != 0 {
-			return code
+		if err := bench.CheckRegression(os.Stdout, checkPath, report.Workloads, 2); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: -check: %v\n", err)
+			return 1
 		}
-		failures := 0
-		for name, floor := range ingestGates {
-			if got := report.Ratios[name]; got < floor {
-				fmt.Fprintf(os.Stderr, "benchgen: -check: %s = %.2fx, need >= %.0fx\n", name, got, floor)
-				failures++
-			}
-		}
-		if failures > 0 {
-			fmt.Fprintf(os.Stderr, "benchgen: -check: %d ingest speedup gate(s) failed\n", failures)
+		if err := bench.CheckFloors(os.Stderr, report.Ratios, ingestGates); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: -check: %v\n", err)
 			return 1
 		}
 		fmt.Println("check passed: ingest speedup gates hold")
 	}
 
-	out, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: marshal report: %v\n", err)
-		return 1
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(outPath, out, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: write %s: %v\n", outPath, err)
+	if err := report.WriteFile(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 		return 1
 	}
 	fmt.Printf("wrote %s\n", outPath)

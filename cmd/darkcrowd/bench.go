@@ -1,0 +1,128 @@
+package main
+
+// darkcrowd bench: warp-style load benchmark against a live serve daemon.
+//
+//	darkcrowd serve -addr 127.0.0.1:8080 &
+//	darkcrowd bench -url http://127.0.0.1:8080                  # 8-way mixed, 10s
+//	darkcrowd bench -url ... -workload ingest -concurrent 16
+//	darkcrowd bench -url ... -autoterm                          # stop when steady
+//	darkcrowd bench -url ... -out BENCH_serve.json              # write the report
+//	darkcrowd bench -url ... -out BENCH_serve.json -as-baseline # record as serve_baseline
+//	darkcrowd bench -url ... -check BENCH_serve.json            # CI regression gate (2x)
+//
+// The report embeds both the current run (serve) and, when recorded with
+// -as-baseline, a reference run (serve_baseline) — by convention the
+// pre-sharding single-mutex daemon — so the serving speedup regenerates
+// from the file alone. Writing -out preserves whichever of the two
+// sections the existing file already holds and this run doesn't replace.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"darkcrowd/internal/bench"
+)
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	url := fs.String("url", "", "daemon base URL (required), e.g. http://127.0.0.1:8080")
+	workload := fs.String("workload", bench.WorkloadMixed, "op mix: ingest, place, report, healthz, or mixed")
+	concurrent := fs.Int("concurrent", 8, "concurrent workers")
+	duration := fs.Duration("duration", 10*time.Second, "run length (autoterm may stop earlier)")
+	ingestBatch := fs.Int("ingest-batch", 256, "NDJSON lines per ingest request")
+	users := fs.Int("users", 64, "synthetic user-ID space")
+	seed := fs.Int64("seed", 1, "op/user sequence seed")
+	autoTerm := fs.Bool("autoterm", false, "stop early once throughput is steady")
+	autoTermWindow := fs.Duration("autoterm-window", 3*time.Second, "steadiness window for -autoterm")
+	autoTermCV := fs.Float64("autoterm-cv", 0.075, "throughput coefficient-of-variation threshold for -autoterm")
+	out := fs.String("out", "", "write the JSON report here (existing serve/serve_baseline sections are preserved)")
+	asBaseline := fs.Bool("as-baseline", false, "with -out, record this run as serve_baseline instead of serve")
+	check := fs.String("check", "", "fail if total throughput drops more than 2x below this committed report's serve section")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+
+	res, err := bench.Drive(bench.DriverOpts{
+		URL:            *url,
+		Workload:       *workload,
+		Concurrent:     *concurrent,
+		Duration:       *duration,
+		IngestBatch:    *ingestBatch,
+		Users:          *users,
+		Seed:           *seed,
+		AutoTerm:       *autoTerm,
+		AutoTermWindow: *autoTermWindow,
+		AutoTermCV:     *autoTermCV,
+	})
+	if err != nil {
+		return err
+	}
+	printServeResult(res)
+
+	if *check != "" {
+		if err := bench.CheckServe(os.Stdout, *check, res, 2); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		report := bench.NewReport("darkcrowd bench", 0, *seed)
+		report.Workloads = nil
+		// Carry over the sections an earlier run already recorded.
+		if prev, err := bench.Load(*out); err != nil {
+			return err
+		} else if prev != nil {
+			report.Serve, report.ServeBaseline = prev.Serve, prev.ServeBaseline
+		}
+		if *asBaseline {
+			report.ServeBaseline = res
+		} else {
+			report.Serve = res
+		}
+		if report.Serve != nil && report.ServeBaseline != nil && report.ServeBaseline.OpsPerSec > 0 {
+			report.Ratios = map[string]float64{
+				"serve_speedup_vs_baseline": bench.Round2(report.Serve.OpsPerSec / report.ServeBaseline.OpsPerSec),
+			}
+		}
+		if err := report.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// printServeResult renders the run like warp does: one line per op type
+// with throughput and latency percentiles, then the totals.
+func printServeResult(res *bench.ServeResult) {
+	fmt.Printf("workload %s, %d workers, %.2fs", res.Workload, res.Concurrent, res.DurationSec)
+	if res.AutoTerminated {
+		fmt.Print(" (autoterminated: throughput steady)")
+	}
+	fmt.Println()
+	ops := make([]string, 0, len(res.Ops))
+	for op := range res.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := res.Ops[op]
+		fmt.Printf("  %-8s %9.0f ops/s  p50 %8s  p90 %8s  p99 %8s",
+			op, st.OpsPerSec,
+			time.Duration(st.Latency.P50), time.Duration(st.Latency.P90), time.Duration(st.Latency.P99))
+		if st.Errors > 0 {
+			fmt.Printf("  (%d errors)", st.Errors)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("total: %d ops, %.0f ops/s", res.TotalOps, res.OpsPerSec)
+	if res.IngestLinesPerSec > 0 {
+		fmt.Printf(", %.0f posts/s ingested", res.IngestLinesPerSec)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"darkcrowd/internal/bench"
+)
+
+// TestBenchCommand boots a real daemon via the serve subcommand and runs
+// the bench subcommand against it end-to-end: a short mixed run, the
+// report written with an embedded baseline, and the -check gate.
+func TestBenchCommand(t *testing.T) {
+	type hooked struct {
+		addr string
+		stop context.CancelFunc
+	}
+	ready := make(chan hooked, 1)
+	serveTestHook = func(addr string, stop context.CancelFunc) {
+		ready <- hooked{addr, stop}
+	}
+	defer func() { serveTestHook = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve",
+			"-addr", "127.0.0.1:0",
+			"-twitter-scale", "300",
+			"-min-posts", "3",
+			"-skip-polish",
+			"-shards", "4",
+			"-refit-debounce", "5ms",
+		})
+	}()
+	var h hooked
+	select {
+	case h = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for the daemon to bind")
+	}
+	url := "http://" + h.addr
+	defer func() {
+		h.stop()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Error("timed out waiting for graceful shutdown")
+		}
+	}()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+
+	// Baseline run first, then the current run into the same file: both
+	// sections must survive.
+	baseArgs := []string{"bench", "-url", url, "-concurrent", "2",
+		"-duration", "300ms", "-ingest-batch", "16", "-out", out}
+	stdout := captureStdout(t, func() error {
+		return run(append(baseArgs, "-as-baseline"))
+	})
+	if !strings.Contains(stdout, "ops/s") {
+		t.Errorf("bench printed no throughput:\n%s", stdout)
+	}
+	stdout = captureStdout(t, func() error { return run(baseArgs) })
+	if !strings.Contains(stdout, "wrote "+out) {
+		t.Errorf("bench did not report writing the report:\n%s", stdout)
+	}
+	rep, err := bench.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serve == nil || rep.ServeBaseline == nil {
+		t.Fatalf("report missing a section: serve=%v baseline=%v", rep.Serve, rep.ServeBaseline)
+	}
+	if rep.Serve.TotalOps == 0 || rep.Serve.OpsPerSec <= 0 {
+		t.Errorf("serve section empty: %+v", rep.Serve)
+	}
+	if rep.Ratios["serve_speedup_vs_baseline"] == 0 {
+		t.Errorf("speedup ratio not derived: %v", rep.Ratios)
+	}
+
+	// The -check gate passes against the report this same machine just
+	// wrote (same daemon, same load — far within 2x).
+	if err := run([]string{"bench", "-url", url, "-concurrent", "2",
+		"-duration", "300ms", "-ingest-batch", "16", "-check", out}); err != nil {
+		t.Errorf("bench -check against own report failed: %v", err)
+	}
+
+	// Flag errors.
+	if err := run([]string{"bench"}); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Errorf("bench without -url: %v", err)
+	}
+	if err := run([]string{"bench", "-url", url, "-workload", "bogus"}); err == nil {
+		t.Error("bench with unknown workload should fail")
+	}
+	_ = os.Remove(out)
+}

@@ -1,0 +1,411 @@
+package bench
+
+// The serving-path load driver behind `darkcrowd bench`: a warp-style
+// concurrent HTTP benchmark against a live geolocation daemon. N workers
+// fire operations drawn from a workload mix (pure ingest, pure place,
+// pure report, or the serving-shaped mixed blend) for a wall-clock
+// duration, recording per-operation latencies into the same lock-free
+// obs.LatencyHist the daemon uses for /metrics — one shared histogram per
+// op type, updated straight from every worker goroutine, percentiles read
+// once at the end.
+//
+// Autotermination mirrors warp's variance window: a sampler tracks
+// per-tick throughput, and once a full window of samples varies by less
+// than the threshold (coefficient of variation), the run is declared
+// steady and stopped early — long enough to be past warmup, no longer
+// than the measurement needs.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darkcrowd/internal/obs"
+)
+
+// Workload names accepted by DriverOpts.Workload.
+const (
+	WorkloadIngest  = "ingest"
+	WorkloadPlace   = "place"
+	WorkloadReport  = "report"
+	WorkloadHealthz = "healthz"
+	WorkloadMixed   = "mixed"
+)
+
+// mixedWeights is the serving-shaped blend, in picks per 100: read-heavy
+// placement lookups over a steady ingest stream, a health probe, and the
+// occasional full report (reports serialize an EM fit behind the daemon's
+// fitMu, so they stay rare — exactly like production polling).
+var mixedWeights = []struct {
+	op string
+	w  int
+}{
+	{WorkloadPlace, 60},
+	{WorkloadIngest, 30},
+	{WorkloadHealthz, 9},
+	{WorkloadReport, 1},
+}
+
+// DriverOpts parameterizes one load run.
+type DriverOpts struct {
+	// URL is the daemon base URL (required), e.g. http://127.0.0.1:8080.
+	URL string
+	// Workload is one of ingest, place, report, healthz, mixed
+	// (default mixed).
+	Workload string
+	// Concurrent is the worker count (default 8).
+	Concurrent int
+	// Duration caps the run's wall clock (default 10s); autotermination
+	// may stop earlier.
+	Duration time.Duration
+	// IngestBatch is the NDJSON line count per ingest request (default
+	// 256 — decode throughput, not HTTP overhead, is the subject).
+	IngestBatch int
+	// Users is the synthetic user-ID space (default 64).
+	Users int
+	// Seed drives the deterministic op/user sequence (default 1).
+	Seed int64
+	// AutoTerm enables variance-window autotermination.
+	AutoTerm bool
+	// AutoTermWindow is the steadiness window (default 3s).
+	AutoTermWindow time.Duration
+	// AutoTermCV is the coefficient-of-variation threshold under which
+	// throughput counts as steady (default 0.075 = 7.5%).
+	AutoTermCV float64
+	// Client overrides the HTTP client (default: pooled transport sized
+	// to Concurrent).
+	Client *http.Client
+}
+
+// OpStats is one op type's aggregate over a run.
+type OpStats struct {
+	Ops       int64               `json:"ops"`
+	Errors    int64               `json:"errors"`
+	OpsPerSec float64             `json:"ops_per_sec"`
+	Latency   obs.LatencySnapshot `json:"latency"`
+}
+
+// ServeResult is one load run's outcome — the Serve section of
+// BENCH_serve.json.
+type ServeResult struct {
+	Workload       string  `json:"workload"`
+	Concurrent     int     `json:"concurrent"`
+	IngestBatch    int     `json:"ingest_batch,omitempty"`
+	DurationSec    float64 `json:"duration_sec"`
+	AutoTerminated bool    `json:"auto_terminated,omitempty"`
+	TotalOps       int64   `json:"total_ops"`
+	TotalErrors    int64   `json:"total_errors,omitempty"`
+	// OpsPerSec is total throughput across op types; IngestLinesPerSec
+	// unrolls ingest batches into per-post throughput.
+	OpsPerSec         float64            `json:"ops_per_sec"`
+	IngestLinesPerSec float64            `json:"ingest_lines_per_sec,omitempty"`
+	Ops               map[string]OpStats `json:"ops"`
+}
+
+// opMeter is one op type's live instruments, shared by all workers.
+type opMeter struct {
+	ops  atomic.Int64
+	errs atomic.Int64
+	lat  obs.LatencyHist
+}
+
+// Drive runs one load benchmark against a live daemon and aggregates
+// per-op throughput and latency percentiles. It probes /healthz once
+// before starting so an unreachable daemon fails fast with a clear error
+// instead of a run full of errors.
+func Drive(opts DriverOpts) (*ServeResult, error) {
+	if opts.URL == "" {
+		return nil, errors.New("bench: DriverOpts.URL is required")
+	}
+	if opts.Workload == "" {
+		opts.Workload = WorkloadMixed
+	}
+	switch opts.Workload {
+	case WorkloadIngest, WorkloadPlace, WorkloadReport, WorkloadHealthz, WorkloadMixed:
+	default:
+		return nil, fmt.Errorf("bench: unknown workload %q", opts.Workload)
+	}
+	if opts.Concurrent <= 0 {
+		opts.Concurrent = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	if opts.IngestBatch <= 0 {
+		opts.IngestBatch = 256
+	}
+	if opts.Users <= 0 {
+		opts.Users = 64
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.AutoTermWindow <= 0 {
+		opts.AutoTermWindow = 3 * time.Second
+	}
+	if opts.AutoTermCV <= 0 {
+		opts.AutoTermCV = 0.075
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Concurrent * 2,
+				MaxIdleConnsPerHost: opts.Concurrent * 2,
+			},
+		}
+	}
+
+	if err := probe(client, opts.URL); err != nil {
+		return nil, err
+	}
+	batches := renderBatches(opts.Seed, opts.Users, opts.IngestBatch)
+
+	meters := map[string]*opMeter{
+		WorkloadIngest:  {},
+		WorkloadPlace:   {},
+		WorkloadReport:  {},
+		WorkloadHealthz: {},
+	}
+	var total atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Duration)
+	defer cancel()
+	var autoTerm atomic.Bool
+	if opts.AutoTerm {
+		go steadySampler(ctx, cancel, &total, opts.AutoTermWindow, opts.AutoTermCV, &autoTerm)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrent; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			for ctx.Err() == nil {
+				op := pickOp(opts.Workload, rng)
+				m := meters[op]
+				t0 := time.Now()
+				err := doOp(ctx, client, opts.URL, op, rng, opts.Users, batches)
+				m.lat.Observe(time.Since(t0))
+				m.ops.Add(1)
+				total.Add(1)
+				if err != nil && ctx.Err() == nil {
+					m.errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := &ServeResult{
+		Workload:       opts.Workload,
+		Concurrent:     opts.Concurrent,
+		IngestBatch:    opts.IngestBatch,
+		DurationSec:    Round2(elapsed),
+		AutoTerminated: autoTerm.Load(),
+		Ops:            make(map[string]OpStats),
+	}
+	for op, m := range meters {
+		ops := m.ops.Load()
+		if ops == 0 {
+			continue
+		}
+		res.TotalOps += ops
+		res.TotalErrors += m.errs.Load()
+		res.Ops[op] = OpStats{
+			Ops:       ops,
+			Errors:    m.errs.Load(),
+			OpsPerSec: Round2(float64(ops) / elapsed),
+			Latency:   m.lat.Snapshot(),
+		}
+		if op == WorkloadIngest {
+			res.IngestLinesPerSec = Round2(float64(ops) * float64(opts.IngestBatch) / elapsed)
+		}
+	}
+	res.OpsPerSec = Round2(float64(res.TotalOps) / elapsed)
+	if res.TotalOps > 0 && res.TotalErrors == res.TotalOps {
+		return res, fmt.Errorf("bench: all %d requests failed against %s", res.TotalOps, opts.URL)
+	}
+	return res, nil
+}
+
+// probe fails fast when the daemon is unreachable.
+func probe(client *http.Client, url string) error {
+	resp, err := client.Get(url + "/healthz")
+	if err != nil {
+		return fmt.Errorf("bench: daemon unreachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bench: daemon /healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// pickOp draws the next op for a worker: fixed for single-op workloads,
+// weighted for mixed.
+func pickOp(workload string, rng *rand.Rand) string {
+	if workload != WorkloadMixed {
+		return workload
+	}
+	n := rng.Intn(100)
+	for _, mw := range mixedWeights {
+		if n < mw.w {
+			return mw.op
+		}
+		n -= mw.w
+	}
+	return WorkloadPlace
+}
+
+// renderBatches pre-renders a rotation of plain NDJSON ingest bodies so
+// the client's per-op cost is one reader over a byte slice — the daemon's
+// decode path, not client-side fmt work, is what the run measures. Lines
+// use the fixed fast-path shape with deterministic users and timestamps.
+var benchEpoch = time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func renderBatches(seed int64, users, batch int) [][]byte {
+	const rotation = 16
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, rotation)
+	for b := range out {
+		var buf bytes.Buffer
+		buf.Grow(batch * 48)
+		for i := 0; i < batch; i++ {
+			ts := benchEpoch.Add(time.Duration(rng.Intn(365*24)) * time.Hour)
+			fmt.Fprintf(&buf, "{\"user_id\":\"bench-user-%d\",\"time\":%q}\n",
+				rng.Intn(users), ts.Format(time.RFC3339))
+		}
+		out[b] = buf.Bytes()
+	}
+	return out
+}
+
+// doOp fires one operation. Expected non-200 statuses (404 for unknown
+// users, 503 before the first active user) are not errors — they are the
+// API answering; transport failures and 5xx surprises are.
+func doOp(ctx context.Context, client *http.Client, url, op string, rng *rand.Rand, users int, batches [][]byte) error {
+	var resp *http.Response
+	var err error
+	switch op {
+	case WorkloadIngest:
+		body := batches[rng.Intn(len(batches))]
+		var req *http.Request
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, url+"/ingest", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err = client.Do(req)
+	case WorkloadPlace:
+		resp, err = getCtx(ctx, client, fmt.Sprintf("%s/place/bench-user-%d", url, rng.Intn(users)))
+	case WorkloadReport:
+		resp, err = getCtx(ctx, client, url+"/report")
+	case WorkloadHealthz:
+		resp, err = getCtx(ctx, client, url+"/healthz")
+	}
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return nil
+	case op == WorkloadPlace && resp.StatusCode == http.StatusNotFound:
+		return nil
+	case op == WorkloadReport && resp.StatusCode == http.StatusServiceUnavailable:
+		return nil
+	}
+	return fmt.Errorf("%s: status %d", op, resp.StatusCode)
+}
+
+func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// steadySampler cancels the run once throughput is steady: it samples the
+// total op counter on a fixed tick and, once a full window of samples is
+// in hand, stops when their coefficient of variation drops under cv.
+func steadySampler(ctx context.Context, cancel context.CancelFunc, total *atomic.Int64, window time.Duration, cv float64, flag *atomic.Bool) {
+	const samplesPerWindow = 4
+	tick := window / samplesPerWindow
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	var samples []float64
+	last := total.Load()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		cur := total.Load()
+		samples = append(samples, float64(cur-last))
+		last = cur
+		if len(samples) < samplesPerWindow {
+			continue
+		}
+		win := samples[len(samples)-samplesPerWindow:]
+		mean := 0.0
+		for _, s := range win {
+			mean += s
+		}
+		mean /= samplesPerWindow
+		if mean <= 0 {
+			continue
+		}
+		variance := 0.0
+		for _, s := range win {
+			variance += (s - mean) * (s - mean)
+		}
+		sd := math.Sqrt(variance / samplesPerWindow)
+		if sd/mean < cv {
+			flag.Store(true)
+			cancel()
+			return
+		}
+	}
+}
+
+// CheckServe gates a fresh driver run on the committed report at path:
+// fresh total throughput must not fall below committed/factor. A missing
+// report (or one without a Serve section) skips with a note.
+func CheckServe(w io.Writer, path string, fresh *ServeResult, factor float64) error {
+	if w == nil {
+		w = io.Discard
+	}
+	committed, err := Load(path)
+	if err != nil {
+		return err
+	}
+	if committed == nil || committed.Serve == nil {
+		fmt.Fprintf(w, "check: no committed serve report at %s, skipping gate\n", path)
+		return nil
+	}
+	old, cur := committed.Serve.OpsPerSec, fresh.OpsPerSec
+	if old > 0 && cur*factor < old {
+		return fmt.Errorf("bench: serve throughput regressed %.2fx (%.0f -> %.0f ops/s, gate %.0fx)",
+			old/cur, old, cur, factor)
+	}
+	fmt.Fprintf(w, "check passed: serve throughput %.0f ops/s vs committed %.0f (gate %.0fx)\n", cur, old, factor)
+	return nil
+}

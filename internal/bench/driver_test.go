@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"bufio"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubDaemon mimics the daemon's HTTP surface closely enough to exercise
+// the driver: counts ingest lines, answers place/report/healthz.
+type stubDaemon struct {
+	lines   atomic.Int64
+	ingests atomic.Int64
+	places  atomic.Int64
+	reports atomic.Int64
+	healths atomic.Int64
+}
+
+func (s *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		sc := bufio.NewScanner(r.Body)
+		n := int64(0)
+		for sc.Scan() {
+			if len(sc.Bytes()) > 0 {
+				n++
+			}
+		}
+		s.lines.Add(n)
+		s.ingests.Add(1)
+		w.Write([]byte(`{"accepted":1}`))
+	})
+	mux.HandleFunc("/place/", func(w http.ResponseWriter, r *http.Request) {
+		s.places.Add(1)
+		if strings.HasSuffix(r.URL.Path, "-3") {
+			http.NotFound(w, r) // driver must tolerate unknown users
+			return
+		}
+		w.Write([]byte(`{"offset":2}`))
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		s.reports.Add(1)
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.healths.Add(1)
+		w.Write([]byte(`{"ok":true}`))
+	})
+	return mux
+}
+
+func TestDriveMixed(t *testing.T) {
+	stub := &stubDaemon{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	res, err := Drive(DriverOpts{
+		URL:         srv.URL,
+		Workload:    WorkloadMixed,
+		Concurrent:  4,
+		Duration:    300 * time.Millisecond,
+		IngestBatch: 8,
+		Users:       16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps <= 0 || res.OpsPerSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", res)
+	}
+	if res.TotalErrors != 0 {
+		t.Fatalf("errors against a healthy stub: %+v", res)
+	}
+	// Mixed must exercise at least place and ingest (report is 1%, so a
+	// short run may legitimately skip it).
+	for _, op := range []string{WorkloadPlace, WorkloadIngest} {
+		st, ok := res.Ops[op]
+		if !ok || st.Ops == 0 {
+			t.Errorf("mixed run recorded no %s ops: %+v", op, res.Ops)
+		}
+		if ok && (st.Latency.Count != st.Ops || st.Latency.P50 <= 0) {
+			t.Errorf("%s latency snapshot inconsistent: ops=%d snap=%+v", op, st.Ops, st.Latency)
+		}
+	}
+	if res.IngestLinesPerSec <= 0 {
+		t.Errorf("ingest lines/s not derived: %+v", res)
+	}
+	// The last in-flight request per worker may be cancelled mid-body at
+	// the deadline, so line accounting is a bound, not an equality.
+	wantLines := res.Ops[WorkloadIngest].Ops * 8
+	if got := stub.lines.Load(); got > wantLines || got < wantLines-int64(res.Concurrent)*8 {
+		t.Errorf("stub saw %d lines, want within %d of %d", got, res.Concurrent*8, wantLines)
+	}
+}
+
+func TestDriveSingleWorkload(t *testing.T) {
+	stub := &stubDaemon{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	res, err := Drive(DriverOpts{
+		URL:        srv.URL,
+		Workload:   WorkloadHealthz,
+		Concurrent: 2,
+		Duration:   150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) != 1 {
+		t.Fatalf("healthz-only run recorded ops %v", res.Ops)
+	}
+	if res.Ops[WorkloadHealthz].Ops == 0 {
+		t.Fatal("no healthz ops recorded")
+	}
+	if stub.ingests.Load() != 0 || stub.places.Load() != 0 || stub.reports.Load() != 0 {
+		t.Fatal("healthz-only run hit other endpoints")
+	}
+}
+
+func TestDriveAutoTerm(t *testing.T) {
+	stub := &stubDaemon{}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	start := time.Now()
+	res, err := Drive(DriverOpts{
+		URL:            srv.URL,
+		Workload:       WorkloadHealthz,
+		Concurrent:     2,
+		Duration:       30 * time.Second, // autoterm must beat this
+		AutoTerm:       true,
+		AutoTermWindow: 250 * time.Millisecond,
+		AutoTermCV:     0.9, // loose: local loopback is steady immediately
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("autoterm did not stop the run early (took %v)", elapsed)
+	}
+	if !res.AutoTerminated {
+		t.Error("AutoTerminated flag not set")
+	}
+}
+
+func TestDriveUnreachable(t *testing.T) {
+	if _, err := Drive(DriverOpts{URL: "http://127.0.0.1:1", Duration: time.Second}); err == nil {
+		t.Fatal("driver accepted an unreachable daemon")
+	}
+	if _, err := Drive(DriverOpts{}); err == nil {
+		t.Fatal("driver accepted an empty URL")
+	}
+	if _, err := Drive(DriverOpts{URL: "http://x", Workload: "bogus"}); err == nil {
+		t.Fatal("driver accepted an unknown workload")
+	}
+}
+
+func TestRenderBatchesFastPathShape(t *testing.T) {
+	batches := renderBatches(1, 8, 32)
+	if len(batches) == 0 {
+		t.Fatal("no batches rendered")
+	}
+	for _, b := range batches {
+		lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+		if len(lines) != 32 {
+			t.Fatalf("batch has %d lines, want 32", len(lines))
+		}
+		for _, ln := range lines {
+			if !strings.HasPrefix(ln, `{"user_id":"bench-user-`) || !strings.Contains(ln, `","time":"`) {
+				t.Fatalf("line not in fast-path shape: %q", ln)
+			}
+			if !strings.HasSuffix(ln, `Z"}`) {
+				t.Fatalf("timestamp not plain UTC RFC3339: %q", ln)
+			}
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := renderBatches(1, 8, 32)
+	for i := range batches {
+		if string(batches[i]) != string(again[i]) {
+			t.Fatal("renderBatches not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestPickOpWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[pickOp(WorkloadMixed, rng)]++
+	}
+	// Expected fractions per mixedWeights, with slack for sampling noise.
+	for _, want := range []struct {
+		op   string
+		frac float64
+	}{{WorkloadPlace, 0.60}, {WorkloadIngest, 0.30}, {WorkloadHealthz, 0.09}, {WorkloadReport, 0.01}} {
+		got := float64(counts[want.op]) / n
+		if got < want.frac*0.7 || got > want.frac*1.3 {
+			t.Errorf("%s drawn %.3f of the time, want ~%.2f", want.op, got, want.frac)
+		}
+	}
+	if pickOp(WorkloadIngest, rng) != WorkloadIngest {
+		t.Error("single workload not returned verbatim")
+	}
+}

@@ -1,0 +1,229 @@
+// Package bench is the repo's shared benchmark harness: one report
+// schema, one min-of-N runner and one regression gate behind every
+// BENCH_*.json artifact — benchgen's placement and ingest suites and
+// `darkcrowd bench`'s serving suite all write the same shape and are
+// checked by the same rules, so CI gates and EXPERIMENTS.md tables
+// regenerate from one place.
+//
+// The measurement discipline is fixed here rather than per-tool:
+//
+//   - Each workload keeps the fastest of N testing.Benchmark runs. The
+//     minimum is the least noisy estimator of a workload's true cost —
+//     slower runs measure GC and scheduler luck, and speedup gates need
+//     stable ratios.
+//   - The -check regression gate compares a fresh run against the report
+//     committed in the repo, failing on ns/op growth beyond a loose
+//     factor (2x by default). CI runners are shared and noisy; a failure
+//     means a real regression, not jitter.
+//   - Hard cross-workload floors (e.g. "snapshot load must beat CSV parse
+//     5x") express the point of an optimisation as a ratio that must keep
+//     holding, independent of absolute machine speed.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Metric is one workload's measurement.
+type Metric struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the schema shared by every BENCH_*.json file.
+type Report struct {
+	Tool         string            `json:"tool"`
+	GoVersion    string            `json:"go_version"`
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	TwitterScale int               `json:"twitter_scale,omitempty"`
+	Seed         int64             `json:"seed,omitempty"`
+	Workloads    map[string]Metric `json:"workloads,omitempty"`
+	// Baseline holds reference measurements captured before a tracked
+	// optimisation landed; SpeedupNs and AllocRatio are the derived
+	// baseline/current ratios (>1 = faster, fewer allocations), kept in
+	// the file for easy reading.
+	Baseline   map[string]Metric  `json:"baseline,omitempty"`
+	SpeedupNs  map[string]float64 `json:"speedup_ns,omitempty"`
+	AllocRatio map[string]float64 `json:"alloc_ratio,omitempty"`
+	// Ratios holds derived cross-workload speedups — the numbers hard
+	// floor gates check.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+	// IngestWorkers is the sharded-parser worker count the ingest suite
+	// ran with (0 elsewhere).
+	IngestWorkers int `json:"ingest_workers,omitempty"`
+	// Serve holds a `darkcrowd bench` load-driver run; ServeBaseline the
+	// reference run against the pre-sharding daemon, kept so the serving
+	// speedup regenerates from the file alone.
+	Serve         *ServeResult `json:"serve,omitempty"`
+	ServeBaseline *ServeResult `json:"serve_baseline,omitempty"`
+}
+
+// NewReport returns a report stamped with the build environment.
+func NewReport(tool string, scale int, seed int64) *Report {
+	return &Report{
+		Tool:         tool,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		TwitterScale: scale,
+		Seed:         seed,
+		Workloads:    make(map[string]Metric),
+	}
+}
+
+// RunMinOf measures fn with testing.Benchmark runs times, records the
+// fastest run under name, prints the usual one-line summary to w (nil =
+// silent) and returns the metric.
+func (r *Report) RunMinOf(w io.Writer, name string, runs int, fn func(b *testing.B)) Metric {
+	if runs < 1 {
+		runs = 1
+	}
+	res := testing.Benchmark(fn)
+	for run := 1; run < runs; run++ {
+		if again := testing.Benchmark(fn); again.NsPerOp() < res.NsPerOp() {
+			res = again
+		}
+	}
+	m := Metric{
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if r.Workloads == nil {
+		r.Workloads = make(map[string]Metric)
+	}
+	r.Workloads[name] = m
+	if w != nil {
+		fmt.Fprintf(w, "%-24s %12d ns/op %12d B/op %10d allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	return m
+}
+
+// DeriveBaseline attaches base and fills the SpeedupNs / AllocRatio
+// columns against the current workloads.
+func (r *Report) DeriveBaseline(base map[string]Metric) {
+	if len(base) == 0 {
+		return
+	}
+	r.Baseline = base
+	r.SpeedupNs = make(map[string]float64, len(base))
+	r.AllocRatio = make(map[string]float64, len(base))
+	for name, b := range base {
+		cur, ok := r.Workloads[name]
+		if !ok || cur.NsPerOp == 0 {
+			continue
+		}
+		r.SpeedupNs[name] = Round2(float64(b.NsPerOp) / float64(cur.NsPerOp))
+		if cur.AllocsPerOp > 0 {
+			r.AllocRatio[name] = Round2(float64(b.AllocsPerOp) / float64(cur.AllocsPerOp))
+		}
+	}
+}
+
+// Ratio returns workload num's ns/op over workload den's — "how many
+// times slower num is", i.e. den's speedup over num.
+func (r *Report) Ratio(num, den string) float64 {
+	if d := r.Workloads[den].NsPerOp; d > 0 {
+		return Round2(float64(r.Workloads[num].NsPerOp) / float64(d))
+	}
+	return 0
+}
+
+// WriteFile writes the indented JSON report.
+func (r *Report) WriteFile(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a committed report. A missing file returns (nil, nil) so
+// gates can skip cleanly on first runs.
+func Load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("bench: read %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckRegression gates a fresh run on the report previously committed at
+// path: any shared workload whose ns/op grew by more than factor fails.
+// A missing committed report skips the gate with a note to w. The loose
+// default factor (2x) tolerates shared-runner noise — a failure means a
+// real regression, not jitter.
+func CheckRegression(w io.Writer, path string, fresh map[string]Metric, factor float64) error {
+	if w == nil {
+		w = io.Discard
+	}
+	committed, err := Load(path)
+	if err != nil {
+		return err
+	}
+	if committed == nil {
+		fmt.Fprintf(w, "check: no committed report at %s, skipping gate\n", path)
+		return nil
+	}
+	failures := 0
+	for name, old := range committed.Workloads {
+		cur, ok := fresh[name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(cur.NsPerOp) / float64(old.NsPerOp)
+		if ratio > factor {
+			fmt.Fprintf(w, "check: %s regressed %.2fx (%d -> %d ns/op)\n",
+				name, ratio, old.NsPerOp, cur.NsPerOp)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench: %d workload(s) regressed more than %.0fx vs %s", failures, factor, path)
+	}
+	fmt.Fprintf(w, "check passed: no workload more than %.0fx slower than %s\n", factor, path)
+	return nil
+}
+
+// CheckFloors enforces hard cross-workload speedup floors: every named
+// ratio must be at least its floor.
+func CheckFloors(w io.Writer, ratios, floors map[string]float64) error {
+	if w == nil {
+		w = io.Discard
+	}
+	failures := 0
+	for name, floor := range floors {
+		if got := ratios[name]; got < floor {
+			fmt.Fprintf(w, "check: %s = %.2fx, need >= %.2fx\n", name, got, floor)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench: %d speedup floor(s) failed", failures)
+	}
+	return nil
+}
+
+// Round2 rounds to two decimals for diff-friendly report ratios.
+func Round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunMinOfRecordsWorkload(t *testing.T) {
+	r := NewReport("test", 10, 7)
+	var out bytes.Buffer
+	m := r.RunMinOf(&out, "noop", 2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = i * i
+		}
+	})
+	if m.NsPerOp < 0 {
+		t.Fatalf("ns/op = %d", m.NsPerOp)
+	}
+	if got, ok := r.Workloads["noop"]; !ok || got != m {
+		t.Fatalf("workload not recorded: %+v", r.Workloads)
+	}
+	if !strings.Contains(out.String(), "noop") {
+		t.Fatalf("summary line missing: %q", out.String())
+	}
+	if r.Tool != "test" || r.TwitterScale != 10 || r.Seed != 7 || r.GoVersion == "" {
+		t.Fatalf("report header wrong: %+v", r)
+	}
+}
+
+func TestDeriveBaselineAndRatio(t *testing.T) {
+	r := NewReport("test", 0, 0)
+	r.Workloads["fast"] = Metric{NsPerOp: 100, AllocsPerOp: 2}
+	r.Workloads["slow"] = Metric{NsPerOp: 1000, AllocsPerOp: 20}
+	r.DeriveBaseline(map[string]Metric{
+		"fast":    {NsPerOp: 450, AllocsPerOp: 9},
+		"missing": {NsPerOp: 1},
+	})
+	if got := r.SpeedupNs["fast"]; got != 4.5 {
+		t.Errorf("speedup = %v, want 4.5", got)
+	}
+	if got := r.AllocRatio["fast"]; got != 4.5 {
+		t.Errorf("alloc ratio = %v, want 4.5", got)
+	}
+	if _, ok := r.SpeedupNs["missing"]; ok {
+		t.Error("speedup derived for workload absent from fresh run")
+	}
+	if got := r.Ratio("slow", "fast"); got != 10 {
+		t.Errorf("ratio = %v, want 10", got)
+	}
+	if got := r.Ratio("fast", "absent"); got != 0 {
+		t.Errorf("ratio vs absent = %v, want 0", got)
+	}
+}
+
+func TestWriteLoadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	r := NewReport("roundtrip", 20, 42)
+	r.Workloads["w"] = Metric{NsPerOp: 123, BytesPerOp: 4, AllocsPerOp: 1}
+	r.Serve = &ServeResult{Workload: "mixed", Concurrent: 8, OpsPerSec: 999.5}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "roundtrip" || got.Workloads["w"].NsPerOp != 123 {
+		t.Fatalf("roundtrip lost data: %+v", got)
+	}
+	if got.Serve == nil || got.Serve.OpsPerSec != 999.5 {
+		t.Fatalf("serve section lost: %+v", got.Serve)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	r, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if r != nil || err != nil {
+		t.Fatalf("missing file = (%v, %v), want (nil, nil)", r, err)
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_gate.json")
+	committed := NewReport("gate", 0, 0)
+	committed.Workloads["w"] = Metric{NsPerOp: 100}
+	if err := committed.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	// Within gate.
+	if err := CheckRegression(&out, path, map[string]Metric{"w": {NsPerOp: 150}}, 2); err != nil {
+		t.Errorf("within-gate check failed: %v", err)
+	}
+	// Beyond gate.
+	if err := CheckRegression(&out, path, map[string]Metric{"w": {NsPerOp: 250}}, 2); err == nil {
+		t.Error("2.5x regression passed a 2x gate")
+	}
+	// Missing committed file skips.
+	if err := CheckRegression(&out, filepath.Join(t.TempDir(), "absent.json"), nil, 2); err != nil {
+		t.Errorf("missing committed report should skip, got %v", err)
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	ratios := map[string]float64{"a": 5.1, "b": 0.9}
+	if err := CheckFloors(nil, ratios, map[string]float64{"a": 5}); err != nil {
+		t.Errorf("met floor failed: %v", err)
+	}
+	if err := CheckFloors(nil, ratios, map[string]float64{"b": 1}); err == nil {
+		t.Error("unmet floor passed")
+	}
+	if err := CheckFloors(nil, ratios, map[string]float64{"absent": 1}); err == nil {
+		t.Error("absent ratio passed a floor")
+	}
+}
+
+func TestCheckServe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	committed := NewReport("serve", 0, 0)
+	committed.Serve = &ServeResult{Workload: "mixed", OpsPerSec: 1000}
+	if err := committed.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := CheckServe(&out, path, &ServeResult{OpsPerSec: 600}, 2); err != nil {
+		t.Errorf("within-gate serve check failed: %v", err)
+	}
+	if err := CheckServe(&out, path, &ServeResult{OpsPerSec: 400}, 2); err == nil {
+		t.Error("2.5x serve throughput drop passed a 2x gate")
+	}
+	if err := CheckServe(&out, filepath.Join(t.TempDir(), "absent.json"), &ServeResult{OpsPerSec: 1}, 2); err != nil {
+		t.Errorf("missing committed serve report should skip, got %v", err)
+	}
+}
+
+func TestRound2(t *testing.T) {
+	if got := Round2(3.14159); got != 3.14 {
+		t.Errorf("Round2(3.14159) = %v", got)
+	}
+	if got := Round2(2.005); got != 2.01 {
+		t.Errorf("Round2(2.005) = %v", got)
+	}
+}

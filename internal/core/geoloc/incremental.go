@@ -8,6 +8,24 @@ import (
 	"darkcrowd/internal/tz"
 )
 
+// PlaceOne assigns a single profile to its nearest zone — the streaming
+// daemon's /place fast path. The returned zone index is exactly what
+// PlaceUsers would assign the same profile (per-user placement depends
+// only on the profile and the generic reference), without the Placement
+// maps, the sorted user sweep, or the stage span of a batch call.
+func PlaceOne(p, generic profile.Profile, opts PlaceOptions) (int, error) {
+	if opts.Distance == 0 {
+		opts.Distance = DistanceCircularEMD
+	}
+	var zones []profile.Profile
+	if opts.Distance == DistanceLinearEMD {
+		zones = profile.ZoneProfiles(generic)
+	}
+	dists := make([]float64, tz.HoursPerDay)
+	scratch := make([]float64, 2*tz.HoursPerDay)
+	return nearestZoneIndex(p, generic, zones, opts.Distance, dists, scratch)
+}
+
 // PlaceUsersPartial is the dirty-set variant of PlaceUsers for the
 // streaming daemon: known carries zone indices of users whose profiles
 // have not changed since they were last placed, and only the remaining

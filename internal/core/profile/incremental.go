@@ -51,6 +51,22 @@ func (a *Accumulator) Add(userID string, unixSec int64) bool {
 		uc = &userCells{cells: make(map[int64]int32)}
 		a.users[userID] = uc
 	}
+	return a.add(uc, unixSec)
+}
+
+// AddBytes is Add for callers holding the user ID as a byte slice (the
+// daemon's NDJSON fast path): the map lookup elides the []byte→string
+// conversion, so the ID is only copied when the user is new.
+func (a *Accumulator) AddBytes(userID []byte, unixSec int64) bool {
+	uc := a.users[string(userID)]
+	if uc == nil {
+		uc = &userCells{cells: make(map[int64]int32)}
+		a.users[string(userID)] = uc
+	}
+	return a.add(uc, unixSec)
+}
+
+func (a *Accumulator) add(uc *userCells, unixSec int64) bool {
 	uc.posts++
 	a.posts++
 	hour, day := cellOfUnix(unixSec)

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatBucketRoundtrip checks that latBucketOf and latBucketUpper agree:
+// every value lands in a bucket whose upper bound is >= the value, and the
+// next bucket's upper bound is strictly larger (monotonic, gap-free).
+func TestLatBucketRoundtrip(t *testing.T) {
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		b := latBucketOf(v)
+		if b < 0 || b >= latBuckets {
+			t.Fatalf("latBucketOf(%d) = %d out of range [0,%d)", v, b, latBuckets)
+		}
+		up := latBucketUpper(b)
+		if up < v {
+			t.Errorf("latBucketUpper(%d) = %d < observed %d", b, up, v)
+		}
+		if b > 0 && latBucketUpper(b-1) >= v {
+			t.Errorf("value %d should not fit in bucket %d (upper %d)", v, b-1, latBucketUpper(b-1))
+		}
+	}
+	// Negative observations clamp to bucket 0.
+	if got := latBucketOf(-5); got != 0 {
+		t.Fatalf("latBucketOf(-5) = %d, want 0", got)
+	}
+	// Bucket upper bounds are strictly increasing across the whole range.
+	prev := int64(-1)
+	for b := 0; b < latBuckets; b++ {
+		up := latBucketUpper(b)
+		if up <= prev {
+			t.Fatalf("latBucketUpper not strictly increasing at bucket %d: %d <= %d", b, up, prev)
+		}
+		prev = up
+	}
+	// Upper bounds map back to their own bucket (they are the largest member).
+	for b := 0; b < latBuckets-1; b++ {
+		up := latBucketUpper(b)
+		if got := latBucketOf(up); got != b {
+			t.Fatalf("latBucketOf(latBucketUpper(%d)=%d) = %d", b, up, got)
+		}
+		if got := latBucketOf(up + 1); got != b+1 {
+			t.Fatalf("latBucketOf(%d+1) = %d, want %d", up, got, b+1)
+		}
+	}
+}
+
+// TestLatBucketResolution pins the ~12.5% relative-error guarantee: above
+// the linear region, a bucket's width is at most 1/8 of its lower bound.
+func TestLatBucketResolution(t *testing.T) {
+	for b := latLinear; b < latBuckets-1; b++ {
+		up := latBucketUpper(b)
+		lo := latBucketUpper(b-1) + 1
+		width := up - lo + 1
+		if width > (lo+7)/8 {
+			t.Fatalf("bucket %d [%d,%d] width %d exceeds 12.5%% of lower bound", b, lo, up, width)
+		}
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	h := &LatencyHist{}
+	// 1000 observations: 1..1000 (e.g. microsecond-scale latencies in ns
+	// would just scale these). True p50=500, p90=900, p99=990.
+	for v := int64(1); v <= 1000; v++ {
+		h.ObserveNs(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if want := int64(1000 * 1001 / 2); s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+	check := func(name string, got, trueQ int64) {
+		t.Helper()
+		// Upper-bound estimate: never below the true quantile, at most one
+		// bucket width (12.5%) above it.
+		if got < trueQ || float64(got) > float64(trueQ)*1.13 {
+			t.Errorf("%s = %d, want in [%d, %.0f]", name, got, trueQ, float64(trueQ)*1.13)
+		}
+	}
+	check("P50", s.P50, 500)
+	check("P90", s.P90, 900)
+	check("P99", s.P99, 990)
+	check("Max", s.Max, 1000)
+	if s.Mean != 500.5 {
+		t.Errorf("Mean = %v, want 500.5", s.Mean)
+	}
+	if q := s.Quantile(0); q < 1 || q > 1000 {
+		t.Errorf("Quantile(0) = %d out of observed range", q)
+	}
+	if q := s.Quantile(1); q < 1000 {
+		t.Errorf("Quantile(1) = %d < max", q)
+	}
+}
+
+func TestLatencyHistExactSmallValues(t *testing.T) {
+	// The linear region (0..15) is exact: quantiles of small counts come
+	// back with zero error.
+	h := &LatencyHist{}
+	for _, v := range []int64{2, 4, 4, 8, 15} {
+		h.ObserveNs(v)
+	}
+	s := h.Snapshot()
+	if s.P50 != 4 {
+		t.Errorf("P50 = %d, want 4", s.P50)
+	}
+	if s.Max != 15 {
+		t.Errorf("Max = %d, want 15", s.Max)
+	}
+}
+
+func TestLatencyHistObserveDuration(t *testing.T) {
+	h := &LatencyHist{}
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != int64(3*time.Millisecond) {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestLatencyHistNil(t *testing.T) {
+	var h *LatencyHist
+	h.Observe(time.Second) // must not panic
+	h.ObserveNs(42)
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestLatencySnapshotJSONDropsBuckets(t *testing.T) {
+	h := &LatencyHist{}
+	h.ObserveNs(100)
+	data, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencySnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 1 || back.P50 == 0 {
+		t.Fatalf("roundtrip = %+v", back)
+	}
+	// Buckets are intentionally not serialized; Quantile on a deserialized
+	// snapshot degrades to 0 rather than lying.
+	if q := back.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on deserialized snapshot = %d, want 0", q)
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	h := &LatencyHist{}
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.ObserveNs(int64(w*1000 + i))
+				if i%64 == 0 {
+					_ = h.Snapshot() // racing reads must stay plausible
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestRegistryLatency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Latency("http.place.ns")
+	if h == nil {
+		t.Fatal("Latency returned nil on live registry")
+	}
+	if r.Latency("http.place.ns") != h {
+		t.Fatal("Latency not idempotent")
+	}
+	h.ObserveNs(500)
+	s := r.Snapshot()
+	ls, ok := s.Latencies["http.place.ns"]
+	if !ok || ls.Count != 1 {
+		t.Fatalf("snapshot latencies = %+v", s.Latencies)
+	}
+	found := false
+	for _, n := range r.Names() {
+		if n == "http.place.ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names missing latency instrument")
+	}
+
+	var nilReg *Registry
+	if nilReg.Latency("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	var nilObs *Observer
+	if nilObs.Latency("x") != nil {
+		t.Fatal("nil observer must hand out nil instruments")
+	}
+}

@@ -215,6 +215,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	floats   map[string]*FloatGauge
 	hists    map[string]*Histogram
+	lats     map[string]*LatencyHist
 }
 
 // NewRegistry creates an empty registry.
@@ -224,6 +225,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		floats:   make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
+		lats:     make(map[string]*LatencyHist),
 	}
 }
 
@@ -287,12 +289,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Latency returns the named latency histogram, creating it on first use.
+func (r *Registry) Latency(name string) *LatencyHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.lats[name]
+	if h == nil {
+		h = &LatencyHist{}
+		r.lats[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time JSON-ready read of every instrument.
 type Snapshot struct {
 	Counters    map[string]int64             `json:"counters,omitempty"`
 	Gauges      map[string]int64             `json:"gauges,omitempty"`
 	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
 	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Latencies   map[string]LatencySnapshot   `json:"latencies,omitempty"`
 }
 
 // Snapshot reads every registered instrument. Writers are never blocked:
@@ -320,6 +338,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	lats := make(map[string]*LatencyHist, len(r.lats))
+	for k, v := range r.lats {
+		lats[k] = v
+	}
 	r.mu.Unlock()
 
 	if len(counters) > 0 {
@@ -344,6 +366,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
 		for k, v := range hists {
 			s.Histograms[k] = v.Snapshot()
+		}
+	}
+	if len(lats) > 0 {
+		s.Latencies = make(map[string]LatencySnapshot, len(lats))
+		for k, v := range lats {
+			s.Latencies[k] = v.Snapshot()
 		}
 	}
 	return s
@@ -372,7 +400,7 @@ func (r *Registry) Names() []string {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.floats)+len(r.hists))
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.floats)+len(r.hists)+len(r.lats))
 	for k := range r.counters {
 		out = append(out, k)
 	}
@@ -383,6 +411,9 @@ func (r *Registry) Names() []string {
 		out = append(out, k)
 	}
 	for k := range r.hists {
+		out = append(out, k)
+	}
+	for k := range r.lats {
 		out = append(out, k)
 	}
 	sort.Strings(out)

@@ -282,12 +282,15 @@ func TestZeroAllocDisabled(t *testing.T) {
 	var g *Gauge
 	var f *FloatGauge
 	var h *Histogram
+	var lh *LatencyHist
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Add(3)
 		c.Inc()
 		g.Set(7)
 		f.Set(1.5)
 		h.Observe(9)
+		lh.Observe(9 * time.Microsecond)
+		lh.ObserveNs(9)
 		span.AddItems(1)
 		span.SetWorkers(4)
 		span.ShardDone(0, 0, 10, time.Millisecond)
@@ -316,11 +319,13 @@ func TestZeroAllocEnabledHotPath(t *testing.T) {
 	g := reg.Gauge("hot")
 	f := reg.FloatGauge("hot")
 	h := reg.Histogram("hot")
+	lh := reg.Latency("hot.ns")
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Add(1)
 		g.Set(2)
 		f.Set(3)
 		h.Observe(4)
+		lh.ObserveNs(5)
 	})
 	if allocs != 0 {
 		t.Errorf("enabled hot-path updates allocate %v per op, want 0", allocs)

@@ -97,6 +97,14 @@ func (o *Observer) Histogram(name string) *Histogram {
 	return o.Metrics.Histogram(name)
 }
 
+// Latency resolves a named latency histogram (nil when metrics are off).
+func (o *Observer) Latency(name string) *LatencyHist {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Latency(name)
+}
+
 // Eventf emits a progress event (no-op without a logger).
 func (o *Observer) Eventf(stage, msg string, kv ...any) {
 	if o == nil {

@@ -2,19 +2,32 @@
 // The batch path (Geolocate) is load → profile → place → fit over a frozen
 // trace; Daemon runs the same deterministic stages continuously over a
 // live post stream. The state split mirrors the storage design: an
-// immutable columnar base (trace.Head's compacted Dataset, checkpointed to
-// a .dcs snapshot) under a small mutable ingest tail, with incremental
-// integer cell counts (profile.Accumulator) and a version-keyed zone cache
-// (geoloc.PlaceUsersPartial) keeping per-post work O(changed state)
-// instead of O(corpus).
+// immutable columnar base (trace.ShardedHead's compacted Dataset,
+// checkpointed to a .dcs snapshot) under small mutable ingest tails, with
+// incremental integer cell counts (profile.Accumulator) and a
+// version-keyed zone cache (geoloc.PlaceUsersPartial) keeping per-post
+// work O(changed state) instead of O(corpus).
+//
+// Concurrency design (DESIGN.md §4i): the hot path is shard → fold →
+// atomic view swap. Mutable per-user state (accumulator cells, zone
+// cache) is split into user-hash shards colocated with the head's tail
+// shards, so two ingest requests contend only when they touch the same
+// shard; stream totals (generation, users, rejected lines) are plain
+// atomics. Reads never take a write lock: /healthz and the /report fast
+// path load an immutable view behind an atomic pointer that the refitter
+// swaps wholesale, and /place touches exactly one shard mutex.
+// Compaction folds the shard tails off the request path (shard locks held
+// only to swap each tail out) and checkpoints the swapped-out immutable
+// dataset with no daemon lock held at all.
 //
 // Consistency model: every accepted post bumps a generation counter; a
 // report is the pure deterministic function of the post multiset at some
-// generation. /report recomputes when the cached report is stale, so a
+// generation. /report recomputes when the published view is stale, so a
 // drained daemon answers with exactly the report a batch run over the same
-// posts would print — bit-identical, any ingest interleaving (the
-// accumulator's integer cell counts are order-independent, and polish,
-// placement and the EM fit are deterministic functions of them).
+// posts would print — bit-identical, any ingest interleaving and any shard
+// count (the accumulator's integer cell counts are order-independent, the
+// sharded head folds in global arrival order, and polish, placement and
+// the EM fit are deterministic functions of them).
 
 package pipeline
 
@@ -29,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darkcrowd/internal/atomicio"
@@ -42,6 +56,14 @@ import (
 // no user has reached the active-profile threshold yet.
 var ErrNoCrowd = errors.New("pipeline: no active users to geolocate yet")
 
+// ErrLineTooLong aborts an ingest request whose NDJSON line exceeds
+// maxIngestLine; surfaced as 413 on /ingest.
+var ErrLineTooLong = errors.New("pipeline: ingest line too long")
+
+// ErrBadLineBudget aborts an ingest request with more malformed lines
+// than ServeConfig.MaxBadLines; surfaced as 400 on /ingest.
+var ErrBadLineBudget = errors.New("pipeline: too many malformed ingest lines")
+
 // DefaultCompactEvery is the ingest-tail size that triggers compaction
 // into the immutable base (and a snapshot write when configured).
 const DefaultCompactEvery = 1 << 16
@@ -50,13 +72,13 @@ const DefaultCompactEvery = 1 << 16
 // the background refitter recomputes the report cache.
 const DefaultRefitDebounce = 500 * time.Millisecond
 
-// maxIngestLine bounds one NDJSON line; longer lines are rejected.
-const maxIngestLine = 1 << 20
+// DefaultMaxBadLines is the per-request malformed-line budget: lenient
+// enough for real quarantine-grade feeds, small enough that a garbage
+// stream fails fast instead of being scanned to the end.
+const DefaultMaxBadLines = 4096
 
-// ingestChunk bounds how many parsed posts are applied per state-lock
-// acquisition, so a huge request body neither buffers fully in memory nor
-// starves concurrent readers.
-const ingestChunk = 4096
+// maxIngestLine bounds one NDJSON line; longer lines abort the request.
+const maxIngestLine = 1 << 20
 
 // ServeConfig parameterizes a streaming geolocation daemon.
 type ServeConfig struct {
@@ -72,19 +94,29 @@ type ServeConfig struct {
 	// Workers sets the EM fit parallelism (0 = all cores). Reports are
 	// bit-identical for every setting.
 	Workers int
+	// Shards sets the ingest shard count (0: trace.DefaultHeadShards;
+	// rounded up to a power of two). Reports are bit-identical for every
+	// setting; more shards means less contention between concurrent
+	// ingest requests.
+	Shards int
 	// SnapshotPath, when non-empty, checkpoints the compacted trace to
 	// this .dcs file (atomically, after each compaction and on Close) and
 	// warm-starts from it on boot.
 	SnapshotPath string
-	// CompactEvery folds the mutable ingest tail into the immutable base
-	// once it holds this many posts (0: DefaultCompactEvery).
+	// CompactEvery folds the mutable ingest tails into the immutable base
+	// once they hold this many posts (0: DefaultCompactEvery).
 	CompactEvery int
+	// MaxBadLines bounds malformed lines per ingest request before the
+	// request is aborted with ErrBadLineBudget (0: DefaultMaxBadLines;
+	// negative: unlimited).
+	MaxBadLines int
 	// RefitDebounce is the quiet period before the background refitter
 	// refreshes the report cache (0: DefaultRefitDebounce; negative:
 	// background refits off — /report still recomputes on demand).
 	RefitDebounce time.Duration
-	// Obs, when non-nil, receives serve.* counters/gauges and the stage
-	// spans of every refit. Observation only.
+	// Obs, when non-nil, receives serve.* counters/gauges, per-endpoint
+	// http.*.ns latency histograms, and the stage spans of every refit.
+	// Observation only.
 	Obs *obs.Observer
 }
 
@@ -114,6 +146,24 @@ type zoneEntry struct {
 	ver  uint64
 }
 
+// daemonShard is one user-hash shard of the daemon's mutable read-side
+// state, colocated with the head's tail shard for the same users. Padded
+// so neighbouring shards' locks don't share a cache line.
+type daemonShard struct {
+	mu    sync.Mutex
+	acc   *profile.Accumulator
+	zones map[string]zoneEntry
+	_     [40]byte // mutex+2 pointers = 24 bytes; pad to a 64-byte line
+}
+
+// reportView is the immutable published report state: swapped wholesale
+// behind Daemon.view, never mutated after publication, so readers load it
+// with one atomic pointer read and no lock.
+type reportView struct {
+	rep    *ServeReport
+	fitted uint64 // generation rep was computed at
+}
+
 // Daemon is a streaming geolocation service over an NDJSON post stream.
 // Construct with NewDaemon, expose Handler over HTTP, Close to flush.
 type Daemon struct {
@@ -122,22 +172,41 @@ type Daemon struct {
 	o       *obs.Observer
 	start   time.Time
 
-	// mu guards the ingest state: accumulator, head bookkeeping, zone
-	// cache, generation counter and report cache pointers. Held only for
-	// O(batch) map work — never across a fit or a snapshot write.
-	mu      sync.Mutex
-	acc     *profile.Accumulator
-	head    *trace.Head
-	zones   map[string]zoneEntry
-	gen     uint64
-	report  *ServeReport // last computed report (nil until first success)
-	fitted  uint64       // generation `report` was computed at
-	rejects uint64
+	// head holds the post log: immutable compacted base plus per-shard
+	// mutable tails. shards holds the matching per-user read state —
+	// shards[head.ShardOf(user)] owns user's accumulator cells and cached
+	// zone, so ingest and /place lock exactly one shard.
+	head   *trace.ShardedHead
+	shards []daemonShard
 
-	// fitMu serializes report computation; snapMu serializes snapshot
-	// writes. Both are taken without mu held.
-	fitMu  sync.Mutex
-	snapMu sync.Mutex
+	// Stream totals, all lock-free. gen counts accepted posts (including
+	// warm-started ones) and doubles as the post total: the two are equal
+	// by construction.
+	gen     atomic.Uint64
+	users   atomic.Int64
+	rejects atomic.Uint64
+
+	// view is the published report (nil until the first successful fit).
+	// Readers only Load; refit Stores a fresh immutable reportView.
+	view atomic.Pointer[reportView]
+
+	// fitMu serializes report computation, snapMu snapshot writes, and
+	// compactMu the fold trigger (TryLock, so at most one ingest request
+	// pays for a compaction while the rest stream on). None are ever held
+	// while another of the three is taken.
+	fitMu     sync.Mutex
+	snapMu    sync.Mutex
+	compactMu sync.Mutex
+
+	// Instruments resolved once at construction (all nil-safe no-ops when
+	// observability is off).
+	cPosts, cRejects, cCompact *obs.Counter
+	cRefits, cRefitsBg         *obs.Counter
+	cFresh, cCached            *obs.Counter
+	cSnapLoads, cSnapWrites    *obs.Counter
+	gPosts, gUsers             *obs.Gauge
+	latIngest, latPlace        *obs.LatencyHist
+	latReport, latHealthz      *obs.LatencyHist
 
 	kick      chan struct{}
 	stop      context.CancelFunc
@@ -159,6 +228,9 @@ func NewDaemon(cfg ServeConfig) (*Daemon, error) {
 	if cfg.RefitDebounce == 0 {
 		cfg.RefitDebounce = DefaultRefitDebounce
 	}
+	if cfg.MaxBadLines == 0 {
+		cfg.MaxBadLines = DefaultMaxBadLines
+	}
 	gen, err := cfg.Reference()
 	if err != nil {
 		return nil, err
@@ -168,10 +240,24 @@ func NewDaemon(cfg ServeConfig) (*Daemon, error) {
 		generic: gen.Generic,
 		o:       cfg.Obs,
 		start:   time.Now(),
-		acc:     profile.NewAccumulator(cfg.MinPosts),
-		zones:   make(map[string]zoneEntry),
 		kick:    make(chan struct{}, 1),
 	}
+	d.cPosts = d.o.Counter("serve.posts_ingested")
+	d.cRejects = d.o.Counter("serve.lines_rejected")
+	d.cCompact = d.o.Counter("serve.compactions")
+	d.cRefits = d.o.Counter("serve.refits")
+	d.cRefitsBg = d.o.Counter("serve.refits_background")
+	d.cFresh = d.o.Counter("serve.placements_fresh")
+	d.cCached = d.o.Counter("serve.placements_cached")
+	d.cSnapLoads = d.o.Counter("serve.snapshot_loads")
+	d.cSnapWrites = d.o.Counter("serve.snapshot_writes")
+	d.gPosts = d.o.Gauge("serve.posts")
+	d.gUsers = d.o.Gauge("serve.users")
+	d.latIngest = d.o.Latency("http.ingest.ns")
+	d.latPlace = d.o.Latency("http.place.ns")
+	d.latReport = d.o.Latency("http.report.ns")
+	d.latHealthz = d.o.Latency("http.healthz.ns")
+
 	var base *trace.Dataset
 	if cfg.SnapshotPath != "" {
 		data, err := os.ReadFile(cfg.SnapshotPath)
@@ -185,15 +271,28 @@ func NewDaemon(cfg ServeConfig) (*Daemon, error) {
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: load snapshot %s: %w (delete it to start empty)", cfg.SnapshotPath, err)
 			}
-			for i := range base.Posts {
-				d.acc.Add(base.Posts[i].UserID, base.Posts[i].Time.Unix())
-				d.gen++
-			}
-			d.o.Counter("serve.snapshot_loads").Add(1)
+			d.cSnapLoads.Add(1)
 			d.o.Eventf("serve", "warm-started from snapshot", "posts", len(base.Posts))
 		}
 	}
-	d.head = trace.NewHead("serve", base)
+	d.head = trace.NewShardedHead("serve", base, cfg.Shards)
+	d.shards = make([]daemonShard, d.head.NumShards())
+	for i := range d.shards {
+		d.shards[i].acc = profile.NewAccumulator(cfg.MinPosts)
+		d.shards[i].zones = make(map[string]zoneEntry)
+	}
+	if base != nil {
+		for i := range base.Posts {
+			id := base.Posts[i].UserID
+			d.shards[d.head.ShardOfString(id)].acc.Add(id, base.Posts[i].Time.Unix())
+		}
+		users := 0
+		for i := range d.shards {
+			users += d.shards[i].acc.NumUsers()
+		}
+		d.gen.Store(uint64(len(base.Posts)))
+		d.users.Store(int64(users))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d.stop = cancel
 	d.refitDone = make(chan struct{})
@@ -212,7 +311,10 @@ func (d *Daemon) Close() error {
 		d.stop()
 		<-d.refitDone
 		if d.cfg.SnapshotPath != "" {
-			d.closeErr = d.writeSnapshot(d.head.Compact())
+			d.compactMu.Lock()
+			ds := d.head.Compact()
+			d.compactMu.Unlock()
+			d.closeErr = d.writeSnapshot(ds)
 		}
 	})
 	return d.closeErr
@@ -247,12 +349,14 @@ func (d *Daemon) refitLoop(ctx context.Context) {
 			}
 		}
 		if _, err := d.Report(); err == nil {
-			d.o.Counter("serve.refits_background").Add(1)
+			d.cRefitsBg.Add(1)
 		}
 	}
 }
 
 // ingestPost is one NDJSON ingest line — the JSON shape of trace.Post.
+// It is the slow-lane decode target; parseIngestLine covers the plain
+// shape without reflection.
 type ingestPost struct {
 	UserID string    `json:"user_id"`
 	Time   time.Time `json:"time"`
@@ -274,88 +378,122 @@ type IngestResult struct {
 
 // Ingest consumes an NDJSON stream — one {"user_id":..., "time":...}
 // object per line, the JSON shape of trace.Post — and applies it to the
-// stream state. Malformed lines are counted and skipped; a head capacity
-// error (trace.LimitError) aborts the request. Sub-second timestamp
-// precision is dropped, matching the columnar store's epoch-seconds
-// column.
+// stream state. Malformed lines are counted and skipped up to the
+// MaxBadLines budget; a head capacity error (trace.LimitError), an
+// oversized line (ErrLineTooLong) or a blown budget (ErrBadLineBudget)
+// aborts the request with the already-applied posts kept. Sub-second
+// timestamp precision is dropped, matching the columnar store's
+// epoch-seconds column.
+//
+// Each accepted post locks only the user's shard (head tail + accumulator
+// cells), so concurrent requests for disjoint users stream in parallel.
 func (d *Daemon) Ingest(r io.Reader) (IngestResult, error) {
 	var res IngestResult
+	defer d.finishIngest(&res)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), maxIngestLine)
-	batch := make([]ingestPost, 0, ingestChunk)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		var compacted *trace.Dataset
-		d.mu.Lock()
-		for _, p := range batch {
-			if err := d.head.Append(p.UserID, p.Time.Unix()); err != nil {
-				d.mu.Unlock()
-				return err
-			}
-			d.acc.Add(p.UserID, p.Time.Unix())
-			d.gen++
-			res.Accepted++
-		}
-		if d.head.Pending() >= d.cfg.CompactEvery {
-			compacted = d.head.Compact()
-		}
-		d.mu.Unlock()
-		batch = batch[:0]
-		if compacted != nil {
-			d.o.Counter("serve.compactions").Add(1)
-			if d.cfg.SnapshotPath != "" {
-				if err := d.writeSnapshot(compacted); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
+	buf := lineBufPool.Get().(*[]byte)
+	defer lineBufPool.Put(buf)
+	sc.Buffer((*buf)[:0], maxIngestLine)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(trimSpace(line)) == 0 {
 			continue
 		}
-		var p ingestPost
-		if err := json.Unmarshal(line, &p); err == nil && p.UserID != "" && !p.Time.IsZero() {
-			batch = append(batch, p)
-			if len(batch) >= ingestChunk {
-				if err := flush(); err != nil {
-					return res, err
+		user, sec, ok := parseIngestLine(line)
+		if !ok {
+			// Slow lane: full JSON decode for lines the plain scanner
+			// refuses (escapes, reordered whitespace, garbage).
+			var p ingestPost
+			if err := json.Unmarshal(line, &p); err != nil || p.UserID == "" || p.Time.IsZero() {
+				res.Rejected++
+				if res.FirstError == "" {
+					res.FirstError = fmt.Sprintf("bad line %d: want {\"user_id\":string,\"time\":RFC3339}", res.Accepted+res.Rejected)
 				}
+				if d.cfg.MaxBadLines > 0 && res.Rejected > d.cfg.MaxBadLines {
+					return res, fmt.Errorf("%w: %d malformed lines (budget %d)", ErrBadLineBudget, res.Rejected, d.cfg.MaxBadLines)
+				}
+				continue
 			}
-			continue
+			user, sec = []byte(p.UserID), p.Time.Unix()
 		}
-		res.Rejected++
-		if res.FirstError == "" {
-			res.FirstError = fmt.Sprintf("bad line %d: want {\"user_id\":string,\"time\":RFC3339}", res.Accepted+len(batch)+res.Rejected)
+		if err := d.apply(user, sec); err != nil {
+			return res, err
 		}
+		res.Accepted++
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return res, fmt.Errorf("%w: line exceeds %d bytes", ErrLineTooLong, maxIngestLine)
+		}
 		return res, fmt.Errorf("pipeline: read ingest body: %w", err)
 	}
-	if err := flush(); err != nil {
-		return res, err
+	return res, nil
+}
+
+// apply records one accepted post: the head shard takes the post and its
+// arrival ticket, the matching daemon shard folds it into the user's
+// profile cells, and the stream totals advance atomically. No global lock
+// anywhere on this path.
+func (d *Daemon) apply(user []byte, sec int64) error {
+	if err := d.head.AppendBytes(user, sec); err != nil {
+		return err
 	}
-	d.mu.Lock()
-	res.Posts = d.acc.TotalPosts()
-	res.Users = d.acc.NumUsers()
-	res.Gen = d.gen
-	d.rejects += uint64(res.Rejected)
-	d.mu.Unlock()
-	d.o.Counter("serve.posts_ingested").Add(int64(res.Accepted))
-	d.o.Counter("serve.lines_rejected").Add(int64(res.Rejected))
-	d.o.Gauge("serve.posts").Set(int64(res.Posts))
-	d.o.Gauge("serve.users").Set(int64(res.Users))
+	sh := &d.shards[d.head.ShardOf(user)]
+	sh.mu.Lock()
+	before := sh.acc.NumUsers()
+	sh.acc.AddBytes(user, sec)
+	newUser := sh.acc.NumUsers() > before
+	sh.mu.Unlock()
+	d.gen.Add(1)
+	if newUser {
+		d.users.Add(1)
+	}
+	if d.head.Pending() >= d.cfg.CompactEvery {
+		return d.maybeCompact()
+	}
+	return nil
+}
+
+// maybeCompact folds the shard tails into a fresh immutable base when the
+// pending threshold is reached. TryLock keeps it to one folder at a time
+// with zero queueing: every other request just keeps streaming, and the
+// checkpoint is written from the swapped-out immutable dataset with no
+// daemon lock held.
+func (d *Daemon) maybeCompact() error {
+	if !d.compactMu.TryLock() {
+		return nil
+	}
+	defer d.compactMu.Unlock()
+	if d.head.Pending() < d.cfg.CompactEvery {
+		return nil // another request folded while we queued on TryLock
+	}
+	ds := d.head.Compact()
+	d.cCompact.Add(1)
+	if d.cfg.SnapshotPath != "" {
+		return d.writeSnapshot(ds)
+	}
+	return nil
+}
+
+// finishIngest stamps the stream totals on the result and publishes the
+// request's observability deltas. Runs on every exit path.
+func (d *Daemon) finishIngest(res *IngestResult) {
+	if res.Rejected > 0 {
+		d.rejects.Add(uint64(res.Rejected))
+	}
+	res.Gen = d.gen.Load()
+	res.Posts = int(res.Gen)
+	res.Users = int(d.users.Load())
+	d.cPosts.Add(int64(res.Accepted))
+	d.cRejects.Add(int64(res.Rejected))
+	d.gPosts.Set(int64(res.Posts))
+	d.gUsers.Set(int64(res.Users))
 	if res.Accepted > 0 {
 		select { // wake the debounced refitter without blocking
 		case d.kick <- struct{}{}:
 		default:
 		}
 	}
-	return res, nil
 }
 
 // trimSpace is bytes.TrimSpace for the blank-line check without importing
@@ -369,55 +507,63 @@ func trimSpace(b []byte) []byte {
 
 // writeSnapshot persists an immutable compacted dataset atomically.
 // Serialized so overlapping compactions can't interleave tmp files; the
-// dataset itself is immutable, so no state lock is held.
+// dataset itself is immutable, so no daemon state lock is held.
 func (d *Daemon) writeSnapshot(ds *trace.Dataset) error {
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
 	if err := atomicio.WriteFile(d.cfg.SnapshotPath, ds.WriteSnapshot); err != nil {
 		return fmt.Errorf("pipeline: save snapshot: %w", err)
 	}
-	d.o.Counter("serve.snapshot_writes").Add(1)
+	d.cSnapWrites.Add(1)
 	return nil
 }
 
 // Report returns the crowd report for the current generation, serving the
-// cache when fresh and recomputing otherwise. A drained daemon (no
-// concurrent ingest) therefore always reports on every accepted post.
+// published view when fresh — one atomic load, no lock — and recomputing
+// otherwise. A drained daemon (no concurrent ingest) therefore always
+// reports on every accepted post.
 func (d *Daemon) Report() (*ServeReport, error) {
-	d.mu.Lock()
-	if d.report != nil && d.fitted == d.gen {
-		rep := d.report
-		d.mu.Unlock()
-		return rep, nil
+	if v := d.view.Load(); v != nil && v.fitted == d.gen.Load() {
+		return v.rep, nil
 	}
-	d.mu.Unlock()
 	return d.refit()
 }
 
-// refit computes the report for the generation observed at snapshot time.
-// The state lock is held only to snapshot profiles/cache and to write
-// results back; the polish/placement/EM work runs outside it, serialized
-// by fitMu so concurrent /report calls don't duplicate the fit.
+// refit computes the report for the generation observed before the shard
+// sweep. Shard locks are held one at a time, only to copy active profiles
+// and cached zones out; the polish/placement/EM work runs with no lock,
+// serialized by fitMu so concurrent /report calls don't duplicate the
+// fit. The finished report is published by swapping the atomic view.
 func (d *Daemon) refit() (*ServeReport, error) {
 	d.fitMu.Lock()
 	defer d.fitMu.Unlock()
 
-	d.mu.Lock()
-	if d.report != nil && d.fitted == d.gen {
-		rep := d.report
-		d.mu.Unlock()
-		return rep, nil
+	// The generation is read before the sweep: if posts land while we
+	// copy, the published view is already stale at publication and the
+	// next /report recomputes. Drained, g is exact.
+	g := d.gen.Load()
+	if v := d.view.Load(); v != nil && v.fitted == g {
+		return v.rep, nil
 	}
-	g := d.gen
-	profiles, versions := d.acc.ActiveProfiles()
-	known := make(map[string]int, len(d.zones))
-	for id := range profiles {
-		if e, ok := d.zones[id]; ok && e.ver == versions[id] {
-			known[id] = e.zone
+	profiles := make(map[string]profile.Profile)
+	versions := make(map[string]uint64)
+	known := make(map[string]int)
+	posts, users := 0, 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		sp, sv := sh.acc.ActiveProfiles()
+		for id, p := range sp {
+			profiles[id] = p
+			versions[id] = sv[id]
+			if e, ok := sh.zones[id]; ok && e.ver == sv[id] {
+				known[id] = e.zone
+			}
 		}
+		posts += sh.acc.TotalPosts()
+		users += sh.acc.NumUsers()
+		sh.mu.Unlock()
 	}
-	posts, users := d.acc.TotalPosts(), d.acc.NumUsers()
-	d.mu.Unlock()
 
 	if len(profiles) == 0 {
 		return nil, ErrNoCrowd
@@ -457,22 +603,25 @@ func (d *Daemon) refit() (*ServeReport, error) {
 		PolishRemoved: polishRemoved,
 		Geo:           geo,
 	}
-	d.o.Counter("serve.refits").Add(1)
-	d.o.Counter("serve.placements_fresh").Add(int64(len(fresh)))
-	d.o.Counter("serve.placements_cached").Add(int64(len(kept) - len(fresh)))
+	d.cRefits.Add(1)
+	d.cFresh.Add(int64(len(fresh)))
+	d.cCached.Add(int64(len(kept) - len(fresh)))
 
-	d.mu.Lock()
 	// Freshly computed zones are valid for the profile versions captured
-	// in the snapshot; staleness is re-checked against the live version on
+	// in the sweep; staleness is re-checked against the live version on
 	// every later read, so writing them back unconditionally is safe even
 	// if the user changed mid-fit.
 	for id, zi := range fresh {
-		d.zones[id] = zoneEntry{zone: zi, ver: versions[id]}
+		sh := &d.shards[d.head.ShardOfString(id)]
+		sh.mu.Lock()
+		sh.zones[id] = zoneEntry{zone: zi, ver: versions[id]}
+		sh.mu.Unlock()
 	}
-	if d.report == nil || g >= d.fitted {
-		d.report, d.fitted = rep, g
+	// fitMu makes this the only writer; the newer-generation guard only
+	// matters across the nil initial state.
+	if v := d.view.Load(); v == nil || g >= v.fitted {
+		d.view.Store(&reportView{rep: rep, fitted: g})
 	}
-	d.mu.Unlock()
 	return rep, nil
 }
 
@@ -491,47 +640,48 @@ type PlaceResult struct {
 // profile is EMD-nearest to the user's current raw profile (pre-polish —
 // flat-profile removal is a crowd-level report step). Placements are
 // served from the version-keyed cache when the profile hasn't changed.
-// ok is false for users the stream has never seen.
+// Only the user's own shard is ever locked. ok is false for users the
+// stream has never seen.
 func (d *Daemon) Place(userID string) (PlaceResult, bool) {
-	d.mu.Lock()
-	posts := d.acc.Posts(userID)
+	sh := &d.shards[d.head.ShardOfString(userID)]
+	sh.mu.Lock()
+	posts := sh.acc.Posts(userID)
 	if posts == 0 {
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		return PlaceResult{}, false
 	}
 	res := PlaceResult{UserID: userID, Posts: posts}
-	p, active := d.acc.ProfileOf(userID)
+	p, active := sh.acc.ProfileOf(userID)
 	if !active {
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		return res, true
 	}
 	res.Active = true
-	ver := d.acc.Version(userID)
-	if e, ok := d.zones[userID]; ok && e.ver == ver {
-		d.mu.Unlock()
+	ver := sh.acc.Version(userID)
+	if e, ok := sh.zones[userID]; ok && e.ver == ver {
+		sh.mu.Unlock()
 		zi := e.zone
 		res.ZoneIndex = &zi
 		res.Offset = profile.OffsetOf(zi).String()
-		d.o.Counter("serve.placements_cached").Add(1)
+		d.cCached.Add(1)
 		return res, true
 	}
-	d.mu.Unlock()
+	sh.mu.Unlock()
 	// Compute outside the lock: the EMD kernel needs only the profile
-	// copy. single-user map keeps the shared partial-placement path.
-	one := map[string]profile.Profile{userID: p}
-	placement, _, err := geoloc.PlaceUsersPartial(one, d.generic, nil, geoloc.PlaceOptions{})
+	// copy. PlaceOne is the same nearest-zone kernel the batch placement
+	// sweeps, minus its map bookkeeping.
+	zi, err := geoloc.PlaceOne(p, d.generic, geoloc.PlaceOptions{})
 	if err != nil {
 		return res, true // active but unplaceable; report bare activity
 	}
-	zi := profile.ZoneIndex(placement.Assignments[userID])
 	res.ZoneIndex = &zi
 	res.Offset = profile.OffsetOf(zi).String()
-	d.o.Counter("serve.placements_fresh").Add(1)
-	d.mu.Lock()
-	if d.acc.Version(userID) == ver {
-		d.zones[userID] = zoneEntry{zone: zi, ver: ver}
+	d.cFresh.Add(1)
+	sh.mu.Lock()
+	if sh.acc.Version(userID) == ver {
+		sh.zones[userID] = zoneEntry{zone: zi, ver: ver}
 	}
-	d.mu.Unlock()
+	sh.mu.Unlock()
 	return res, true
 }
 
@@ -546,31 +696,50 @@ type Health struct {
 	UptimeSec int64  `json:"uptime_sec"`
 }
 
-// Healthz snapshots the daemon's liveness state.
+// Healthz snapshots the daemon's liveness state. Entirely lock-free:
+// atomic counter loads plus one view-pointer load.
 func (d *Daemon) Healthz() Health {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	g := d.gen.Load()
+	var fitted uint64
+	if v := d.view.Load(); v != nil {
+		fitted = v.fitted
+	}
 	return Health{
 		Status:    "ok",
-		Posts:     d.acc.TotalPosts(),
-		Users:     d.acc.NumUsers(),
-		Gen:       d.gen,
-		FittedGen: d.fitted,
-		Rejected:  d.rejects,
+		Posts:     int(g),
+		Users:     int(d.users.Load()),
+		Gen:       g,
+		FittedGen: fitted,
+		Rejected:  d.rejects.Load(),
 		UptimeSec: int64(time.Since(d.start) / time.Second),
 	}
 }
 
+// writeJSON renders compact JSON: /place and /healthz answer thousands of
+// times a second, and response indentation was a measurable slice of the
+// serving hot path's CPU.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// timed wraps a handler with one latency observation. When observability
+// is off the histogram is nil and the handler is returned untouched, so
+// the disabled path pays nothing.
+func timed(lat *obs.LatencyHist, fn http.HandlerFunc) http.HandlerFunc {
+	if lat == nil {
+		return fn
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		fn(w, r)
+		lat.Observe(time.Since(t0))
+	}
 }
 
 // Handler returns the daemon's HTTP API:
@@ -580,28 +749,38 @@ type errorBody struct {
 //	GET  /report        the crowd report (recomputed when stale)
 //	GET  /healthz       liveness and stream counters
 //
-// When the daemon was built with an observing ServeConfig.Obs carrying a
-// metrics registry, /metrics and /debug/pprof/* are mounted too (the
-// obs.Handler surface).
+// Ingest failures map to status codes by cause: 400 for a blown
+// malformed-line budget, 413 for an oversized line, 507 for storage
+// limits. When the daemon was built with an observing ServeConfig.Obs
+// carrying a metrics registry, /metrics and /debug/pprof/* are mounted
+// too (the obs.Handler surface), with per-endpoint request latencies
+// under http.*.ns.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /ingest", timed(d.latIngest, func(w http.ResponseWriter, r *http.Request) {
 		res, err := d.Ingest(r.Body)
 		if err != nil {
-			writeJSON(w, http.StatusInsufficientStorage, errorBody{Error: err.Error()})
+			status := http.StatusInsufficientStorage
+			switch {
+			case errors.Is(err, ErrBadLineBudget):
+				status = http.StatusBadRequest
+			case errors.Is(err, ErrLineTooLong):
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("GET /place/{user}", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /place/{user}", timed(d.latPlace, func(w http.ResponseWriter, r *http.Request) {
 		res, ok := d.Place(r.PathValue("user"))
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown user"})
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /report", timed(d.latReport, func(w http.ResponseWriter, r *http.Request) {
 		rep, err := d.Report()
 		if err != nil {
 			status := http.StatusInternalServerError
@@ -612,10 +791,10 @@ func (d *Daemon) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /healthz", timed(d.latHealthz, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Healthz())
-	})
+	}))
 	if d.o != nil && d.o.Metrics != nil {
 		debug := obs.Handler(d.o.Metrics)
 		mux.Handle("GET /metrics", debug)

@@ -255,6 +255,17 @@ func (b *Builder) TryUser(id string) (int32, error) {
 	return u, nil
 }
 
+// TryUserBytes is TryUser for callers holding the ID as a byte slice (the
+// streaming daemon's NDJSON fast path): the lookup is allocation-free —
+// Go's map index elides the []byte→string conversion — and the ID is only
+// copied to a string the first time the user appears.
+func (b *Builder) TryUserBytes(id []byte) (int32, error) {
+	if u, ok := b.lookup[string(id)]; ok {
+		return u, nil
+	}
+	return b.TryUser(string(id))
+}
+
 // User is TryUser for callers with bounded inputs (the synthetic
 // generators); it panics with a clear message instead of wrapping the
 // ordinal if the builder is full.

@@ -538,6 +538,16 @@ func parseRFC3339(s string) (time.Time, error) {
 	return ts, nil
 }
 
+// ParseStamp parses an RFC3339 timestamp from a byte slice without
+// allocating: fast reports that the instant is the whole second sec —
+// exactly time.Unix(sec, 0).UTC() — while the fallback path returns the
+// stdlib-parsed, UTC-normalized ts. Exported for the streaming daemon's
+// zero-alloc NDJSON ingest decoder; accepted inputs and error behaviour
+// match time.Parse(time.RFC3339, ...) exactly.
+func ParseStamp(s []byte) (sec int64, ts time.Time, fast bool, err error) {
+	return parseStamp(s)
+}
+
 // parseStamp is the RFC3339 scanner shared by the sequential reader
 // (strings) and the sharded parallel reader (byte slices without a
 // per-row string allocation). fast reports that the instant is the whole
