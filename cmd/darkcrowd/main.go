@@ -19,7 +19,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +63,8 @@ func run(args []string) error {
 		return cmdProfile(args[1:])
 	case "geolocate":
 		return cmdGeolocate(args[1:])
+	case "verify":
+		return cmdVerify(args[1:])
 	case "snapshot":
 		return cmdSnapshot(args[1:])
 	case "hemisphere":
@@ -91,6 +92,7 @@ subcommands:
   reference   build and save the generic reference profile (JSON)
   profile     show a user's or the crowd's 24-hour activity profile
   geolocate   place a crowd and fit its time-zone mixture
+  verify      replay a report from its snapshot and check its provenance chain
   snapshot    compile a CSV trace into a binary columnar snapshot (.dcs)
   hemisphere  classify users as northern/southern hemisphere (DST test)
   scrape      crawl a live forum into a CSV trace
@@ -205,11 +207,7 @@ func saveTrace(ds *trace.Dataset, path string) error {
 // reference builds the generic profile from a fresh synthetic Twitter
 // stand-in on the given number of workers (0 = every core).
 func reference(seed int64, scale, workers int) (*profile.GenericResult, error) {
-	twitter, err := synth.TwitterDataset(seed, synth.TwitterOptions{Scale: scale})
-	if err != nil {
-		return nil, err
-	}
-	return profile.BuildGeneric(twitter, profile.GenericOptions{Parallelism: workers})
+	return pipeline.SynthReference(seed, scale, workers)
 }
 
 // referenceLoader resolves the -ref/-seed/-twitter-scale flags shared by
@@ -235,7 +233,7 @@ func referenceLoader(refPath string, seed int64, scale, workers int) (string, fu
 			}, nil
 		}
 	}
-	return fmt.Sprintf("synth:seed=%d,scale=%d", seed, scale), func() (*profile.GenericResult, error) {
+	return pipeline.SynthReferenceID(seed, scale), func() (*profile.GenericResult, error) {
 		return reference(seed, scale, workers)
 	}
 }
@@ -412,6 +410,11 @@ func cmdGeolocate(args []string) error {
 	ingestWorkers := fs.Int("ingest-workers", 0, "CSV parser worker goroutines (0 = all cores); output is identical for every setting")
 	ckpt := fs.String("checkpoint", "", "stage checkpoint file: an interrupted run resumes from it (empty = off)")
 	outPath := fs.String("out", "", "also write the full geolocation result as JSON to this path")
+	margins := fs.Bool("margins", false, "record per-user placement margins (best-vs-runner-up EMD gap) and a margin summary")
+	bootstrap := fs.Int("bootstrap", 0, "bootstrap replicates for mixture confidence intervals (0 = off)")
+	bootstrapSeed := fs.Int64("bootstrap-seed", 1, "bootstrap resampling seed")
+	bootstrapLevel := fs.Float64("bootstrap-level", 0.95, "two-sided confidence level for the bootstrap intervals")
+	provenance := fs.Bool("provenance", false, "chain a hash-linked provenance section into the report (verifiable with `darkcrowd verify`)")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -432,6 +435,12 @@ func cmdGeolocate(args []string) error {
 		Workers:        *workers,
 		CheckpointPath: *ckpt,
 		Obs:            o,
+
+		Margins:             *margins,
+		BootstrapReplicates: *bootstrap,
+		BootstrapSeed:       *bootstrapSeed,
+		BootstrapLevel:      *bootstrapLevel,
+		Provenance:          *provenance,
 	}
 	cfg.ReferenceID, cfg.Reference = referenceLoader(*refPath, *seed, *scale, *workers)
 	res, err := pipeline.Geolocate(cfg)
@@ -474,16 +483,73 @@ func cmdGeolocate(args []string) error {
 		fmt.Printf("  %d. %s\n", i+1, comp)
 	}
 	fmt.Printf("fit quality: avg %.4f, std %.4f\n", geo.AvgDistance, geo.StdDistance)
+	if ms := geo.MarginSummary; ms != nil {
+		fmt.Printf("placement margins: min %.4f, median %.4f, mean %.4f, max %.4f\n", ms.Min, ms.Median, ms.Mean, ms.Max)
+	}
+	if ci := geo.Confidence; ci != nil {
+		fmt.Printf("bootstrap confidence (%d replicates, seed %d, %.0f%% level):\n", ci.Replicates, ci.Seed, ci.Level*100)
+		for i, c := range ci.Components {
+			fmt.Printf("  %d. weight %.3f [%.3f, %.3f], offset %+.2f [%+.2f, %+.2f]\n",
+				i+1, c.Weight, c.WeightLo, c.WeightHi, c.Offset, c.OffsetLo, c.OffsetHi)
+		}
+	}
 	if *outPath != "" {
-		data, err := json.MarshalIndent(geo, "", "  ")
+		data, err := (&pipeline.Report{Geolocation: geo, Provenance: res.Provenance}).Encode()
 		if err != nil {
 			return fmt.Errorf("encode result: %w", err)
 		}
-		if err := atomicio.WriteFileBytes(*outPath, append(data, '\n')); err != nil {
+		if err := atomicio.WriteFileBytes(*outPath, data); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
+	return nil
+}
+
+// cmdVerify replays a report from its snapshot and checks the provenance
+// chain plus byte-identical regeneration; exits non-zero on any mismatch.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	reportPath := fs.String("report", "report.json", "report JSON written by `geolocate -provenance -out`")
+	snapshot := fs.String("snapshot", "", "the .dcs snapshot the report was computed from (required)")
+	refPath := fs.String("ref", "", "reference JSON file, required when the report used -ref")
+	workers := fs.Int("workers", 0, "replay worker goroutines (0 = all cores); verification is identical for every setting")
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshot == "" {
+		return fmt.Errorf("-snapshot is required")
+	}
+	o, finish, err := of.observer("verify")
+	if err != nil {
+		return err
+	}
+	defer finish()
+	data, err := os.ReadFile(*reportPath)
+	if err != nil {
+		return fmt.Errorf("open report: %w", err)
+	}
+	res, err := pipeline.Verify(data, pipeline.VerifyOptions{
+		SnapshotPath: *snapshot,
+		Workers:      *workers,
+		Obs:          o,
+		Reference: func(refID string) (func() (*profile.GenericResult, error), error) {
+			if *refPath == "" {
+				return nil, fmt.Errorf("report's reference is %q; pass the original file with -ref", refID)
+			}
+			_, loader := referenceLoader(*refPath, 0, 0, *workers)
+			if want := "file:" + *refPath; refID != want {
+				fmt.Fprintf(os.Stderr, "note: report names reference %q, verifying against %s\n", refID, *refPath)
+			}
+			return loader, nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("verification FAILED: %w", err)
+	}
+	fmt.Printf("verification OK: %s replays %d posts byte-identically (%d chain records)\n",
+		*reportPath, res.Posts, res.Records)
 	return nil
 }
 

@@ -56,6 +56,14 @@ type Placement struct {
 	Histogram []float64
 	// Counts is the raw user count per zone index.
 	Counts []int
+	// Margins, when placement ran with PlaceOptions.Margins, maps each
+	// user to their placement margin: the EMD gap between the runner-up
+	// zone and the winning zone. A margin near zero means the placement
+	// was nearly a coin flip between two zones; a large margin means the
+	// user's profile points unambiguously at one zone. Nil when margin
+	// recording was off, so pre-margin reports and checkpoints are
+	// unaffected.
+	Margins map[string]float64 `json:",omitempty"`
 }
 
 // Samples returns one value per user — the zone index of the user's
@@ -91,6 +99,11 @@ type PlaceOptions struct {
 	// span with per-shard timings. Observation only: the placement is
 	// identical with or without it.
 	Obs *obs.Observer
+	// Margins records each user's placement margin (best-vs-runner-up EMD
+	// gap) into Placement.Margins. The margin falls out of the same
+	// all-rotations kernel call that picks the winning zone — no second
+	// distance pass — so recording it does not change any assignment.
+	Margins bool
 }
 
 // PlaceUsers assigns every profile to its nearest time zone, comparing the
@@ -113,6 +126,10 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 	}
 	users := profile.SortedUserIDs(profiles)
 	best := make([]int, len(users))
+	var margins []float64
+	if opts.Margins {
+		margins = make([]float64, len(users))
+	}
 	// The circular path never materializes the 24 zone profiles: one
 	// all-rotations kernel call against the generic profile yields every
 	// zone distance. The linear ablation keeps the explicit zone loop.
@@ -138,11 +155,14 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 					return err
 				}
 			}
-			zi, err := nearestZoneIndex(profiles[users[i]], generic, zones, opts.Distance, dists, scratch)
+			zi, margin, err := nearestZoneIndex(profiles[users[i]], generic, zones, opts.Distance, dists, scratch)
 			if err != nil {
 				return fmt.Errorf("geoloc: distance for user %q: %w", users[i], err)
 			}
 			best[i] = zi
+			if margins != nil {
+				margins[i] = margin
+			}
 		}
 		usersPlaced.Add(int64(end - start))
 		return nil
@@ -155,9 +175,15 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 		Histogram:   make([]float64, tz.HoursPerDay),
 		Counts:      make([]int, tz.HoursPerDay),
 	}
+	if margins != nil {
+		out.Margins = make(map[string]float64, len(users))
+	}
 	for i, userID := range users {
 		out.Assignments[userID] = profile.OffsetOf(best[i])
 		out.Counts[best[i]]++
+		if margins != nil {
+			out.Margins[userID] = margins[i]
+		}
 	}
 	total := float64(len(profiles))
 	for zi, c := range out.Counts {
@@ -167,8 +193,10 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 }
 
 // nearestZoneIndex returns the index of the zone profile with minimal
-// distance from p, breaking ties toward the lower index. dists and scratch
-// are worker-owned workspaces (HoursPerDay and 2*HoursPerDay floats).
+// distance from p, breaking ties toward the lower index, together with the
+// placement margin — the distance gap between the runner-up zone and the
+// winner (0 on an exact tie). dists and scratch are worker-owned
+// workspaces (HoursPerDay and 2*HoursPerDay floats).
 //
 // The circular metric computes all 24 distances with one
 // EMDCircularAllRotations call on the generic profile. The zone-zi
@@ -176,37 +204,51 @@ func PlaceUsers(profiles map[string]profile.Profile, generic profile.Profile, op
 // r = (zi + MinOffset) mod 24 — so the kernel's out[r] is bit-identical to
 // EMDCircularScratch(p, zones[zi]), and the strict less-than argmin over
 // ascending zi reproduces the historical per-zone loop exactly, ties
-// included. zones is only consulted by the linear ablation metric.
-func nearestZoneIndex(p profile.Profile, generic profile.Profile, zones []profile.Profile, dist DistanceKind, dists, scratch []float64) (int, error) {
+// included. The margin falls out of the same scan (a second running
+// minimum over the distances already in hand — no extra kernel work), so
+// the winning zone is identical whether or not the caller consumes it.
+// zones is only consulted by the linear ablation metric.
+func nearestZoneIndex(p profile.Profile, generic profile.Profile, zones []profile.Profile, dist DistanceKind, dists, scratch []float64) (int, float64, error) {
 	if dist == DistanceLinearEMD {
 		best := -1
 		bestDist := 0.0
+		second := math.Inf(1)
 		for zi := range zones {
 			d, err := stats.EMDLinear(p[:], zones[zi][:])
 			if err != nil {
-				return 0, fmt.Errorf("zone %d: %w", zi, err)
+				return 0, 0, fmt.Errorf("zone %d: %w", zi, err)
 			}
-			if best == -1 || d < bestDist {
-				best = zi
-				bestDist = d
+			switch {
+			case best == -1:
+				best, bestDist = zi, d
+			case d < bestDist:
+				best, bestDist, second = zi, d, bestDist
+			case d < second:
+				second = d
 			}
 		}
-		return best, nil
+		if math.IsInf(second, 1) {
+			second = bestDist // single-zone ablation: no runner-up
+		}
+		return best, second - bestDist, nil
 	}
 	rot, err := stats.EMDCircularAllRotations(p[:], generic[:], dists, scratch)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	best := 0
 	bestDist := rot[(int(tz.MinOffset)+tz.HoursPerDay)%tz.HoursPerDay]
+	second := math.Inf(1)
 	for zi := 1; zi < tz.HoursPerDay; zi++ {
 		d := rot[(zi+int(tz.MinOffset)+tz.HoursPerDay)%tz.HoursPerDay]
-		if d < bestDist {
-			best = zi
-			bestDist = d
+		switch {
+		case d < bestDist:
+			best, bestDist, second = zi, d, bestDist
+		case d < second:
+			second = d
 		}
 	}
-	return best, nil
+	return best, second - bestDist, nil
 }
 
 // SingleFit is the single-Gaussian placement fit used for single-country
@@ -284,6 +326,50 @@ type Geolocation struct {
 	// degraded geolocation is still the best available estimate — callers
 	// should surface the reason as a warning rather than discard the result.
 	Degraded string `json:",omitempty"`
+	// MarginSummary aggregates the per-user placement margins when the
+	// placement recorded them (PlaceOptions.Margins); nil otherwise, so
+	// margin-off reports serialize exactly as before the field existed.
+	MarginSummary *MarginStats `json:",omitempty"`
+	// Confidence carries the bootstrap confidence intervals on the mixture
+	// components when the caller ran BootstrapMixtureCI; nil otherwise.
+	Confidence *BootstrapResult `json:"confidence,omitempty"`
+}
+
+// MarginStats summarizes the distribution of per-user placement margins —
+// how decisively the crowd's members landed on their zones. All values are
+// EMD gaps on the same scale as the placement distance.
+type MarginStats struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+}
+
+// SummarizeMargins computes MarginStats over a placement's recorded
+// margins; nil when the placement carries none. The median of an even
+// count is the mean of the two middle values.
+func SummarizeMargins(p *Placement) *MarginStats {
+	if len(p.Margins) == 0 {
+		return nil
+	}
+	vals := make([]float64, 0, len(p.Margins))
+	for _, m := range p.Margins {
+		vals = append(vals, m)
+	}
+	sort.Float64s(vals)
+	s := &MarginStats{Min: vals[0], Max: vals[len(vals)-1]}
+	n := len(vals)
+	if n%2 == 1 {
+		s.Median = vals[n/2]
+	} else {
+		s.Median = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Mean = sum / float64(n)
+	return s
 }
 
 // GeolocateOptions configures Geolocate.
@@ -352,13 +438,14 @@ func FitPlacement(placement *Placement, opts GeolocateOptions) (*Geolocation, er
 		})
 	}
 	return &Geolocation{
-		Placement:   placement,
-		Mixture:     res.Mixture,
-		Components:  components,
-		AvgDistance: avg,
-		StdDistance: std,
-		BIC:         res.BIC,
-		Degraded:    res.Degraded,
+		Placement:     placement,
+		Mixture:       res.Mixture,
+		Components:    components,
+		AvgDistance:   avg,
+		StdDistance:   std,
+		BIC:           res.BIC,
+		Degraded:      res.Degraded,
+		MarginSummary: SummarizeMargins(placement),
 	}, nil
 }
 

@@ -14,6 +14,15 @@ import (
 // only on the profile and the generic reference), without the Placement
 // maps, the sorted user sweep, or the stage span of a batch call.
 func PlaceOne(p, generic profile.Profile, opts PlaceOptions) (int, error) {
+	zi, _, err := PlaceOneMargin(p, generic, opts)
+	return zi, err
+}
+
+// PlaceOneMargin is PlaceOne plus the placement margin: the EMD gap
+// between the runner-up zone and the winner, read off the same
+// all-rotations kernel output that picks the zone — no second distance
+// pass. The zone index is bit-identical to PlaceOne's.
+func PlaceOneMargin(p, generic profile.Profile, opts PlaceOptions) (int, float64, error) {
 	if opts.Distance == 0 {
 		opts.Distance = DistanceCircularEMD
 	}
@@ -26,6 +35,15 @@ func PlaceOne(p, generic profile.Profile, opts PlaceOptions) (int, error) {
 	return nearestZoneIndex(p, generic, zones, opts.Distance, dists, scratch)
 }
 
+// PlacedZone is one freshly computed per-user placement: the winning zone
+// index plus the placement margin (best-vs-runner-up EMD gap). Returned by
+// PlaceUsersPartial so the daemon's version-keyed cache can serve both
+// without re-running the kernel.
+type PlacedZone struct {
+	Zone   int
+	Margin float64
+}
+
 // PlaceUsersPartial is the dirty-set variant of PlaceUsers for the
 // streaming daemon: known carries zone indices of users whose profiles
 // have not changed since they were last placed, and only the remaining
@@ -33,13 +51,13 @@ func PlaceOne(p, generic profile.Profile, opts PlaceOptions) (int, error) {
 // is bit-identical to PlaceUsers over the same profiles — per-user
 // placement depends only on (profile, generic), so a cached zone for an
 // unchanged profile is exactly what the kernel would recompute — and
-// fresh maps each newly computed user to its zone index so the caller can
-// refill its cache.
+// fresh maps each newly computed user to its zone and margin so the
+// caller can refill its cache.
 //
 // Entries in known for users absent from profiles are ignored. The dirty
 // set is typically tiny between refits, so this path is sequential; batch
 // runs with full dirty sets should use PlaceUsers, which shards.
-func PlaceUsersPartial(profiles map[string]profile.Profile, generic profile.Profile, known map[string]int, opts PlaceOptions) (*Placement, map[string]int, error) {
+func PlaceUsersPartial(profiles map[string]profile.Profile, generic profile.Profile, known map[string]int, opts PlaceOptions) (*Placement, map[string]PlacedZone, error) {
 	if len(profiles) == 0 {
 		return nil, nil, errors.New("geoloc: no profiles to place")
 	}
@@ -53,7 +71,7 @@ func PlaceUsersPartial(profiles map[string]profile.Profile, generic profile.Prof
 	users := profile.SortedUserIDs(profiles)
 	o := opts.Obs.Stage("placement")
 	defer o.End()
-	fresh := make(map[string]int)
+	fresh := make(map[string]PlacedZone)
 	dists := make([]float64, tz.HoursPerDay)
 	scratch := make([]float64, 2*tz.HoursPerDay)
 	out := &Placement{
@@ -70,11 +88,12 @@ func PlaceUsersPartial(profiles map[string]profile.Profile, generic profile.Prof
 		zi, ok := known[userID]
 		if !ok {
 			var err error
-			zi, err = nearestZoneIndex(profiles[userID], generic, zones, opts.Distance, dists, scratch)
+			var margin float64
+			zi, margin, err = nearestZoneIndex(profiles[userID], generic, zones, opts.Distance, dists, scratch)
 			if err != nil {
 				return nil, nil, fmt.Errorf("geoloc: distance for user %q: %w", userID, err)
 			}
-			fresh[userID] = zi
+			fresh[userID] = PlacedZone{Zone: zi, Margin: margin}
 		}
 		out.Assignments[userID] = profile.OffsetOf(zi)
 		out.Counts[zi]++

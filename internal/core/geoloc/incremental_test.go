@@ -78,7 +78,11 @@ func TestPlaceUsersPartialMatchesPlaceUsers(t *testing.T) {
 	}
 
 	// Warm: the cold run's zones answer everything; nothing recomputes.
-	warm, fresh2, err := PlaceUsersPartial(profiles, generic, fresh, PlaceOptions{})
+	cache := make(map[string]int, len(fresh))
+	for id, pz := range fresh {
+		cache[id] = pz.Zone
+	}
+	warm, fresh2, err := PlaceUsersPartial(profiles, generic, cache, PlaceOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,9 +100,9 @@ func TestPlaceUsersPartialMatchesPlaceUsers(t *testing.T) {
 		profiles[id] = p
 	}
 	known := make(map[string]int, len(fresh))
-	for id, zi := range fresh {
+	for id, pz := range fresh {
 		if !dirty[id] {
-			known[id] = zi
+			known[id] = pz.Zone
 		}
 	}
 	// A cache entry for a user no longer in the profile map must be ignored.

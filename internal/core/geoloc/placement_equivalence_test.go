@@ -5,6 +5,7 @@ package geoloc
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"darkcrowd/internal/core/profile"
@@ -65,12 +66,25 @@ func TestNearestZoneIndexMatchesLegacy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := nearestZoneIndex(p, generic, nil, DistanceCircularEMD, dists, scratch)
+		got, margin, err := nearestZoneIndex(p, generic, nil, DistanceCircularEMD, dists, scratch)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got != want {
 			t.Fatalf("trial %d: nearestZoneIndex = %d, legacy %d", trial, got, want)
+		}
+		// The margin must be exactly the per-zone loop's runner-up gap.
+		var all []float64
+		for zi := range zones {
+			d, err := stats.EMDCircularScratch(p[:], zones[zi][:], scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, d)
+		}
+		sort.Float64s(all)
+		if wantMargin := all[1] - all[0]; margin != wantMargin {
+			t.Fatalf("trial %d: margin = %g, legacy runner-up gap %g", trial, margin, wantMargin)
 		}
 	}
 }
@@ -84,7 +98,7 @@ func TestNearestZoneIndexUniformTies(t *testing.T) {
 	generic := randomProfile(rng)
 	dists := make([]float64, tz.HoursPerDay)
 	scratch := make([]float64, 2*tz.HoursPerDay)
-	got, err := nearestZoneIndex(uniform, generic, nil, DistanceCircularEMD, dists, scratch)
+	got, _, err := nearestZoneIndex(uniform, generic, nil, DistanceCircularEMD, dists, scratch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +120,7 @@ func TestPlaceUsersSteadyStateAllocs(t *testing.T) {
 	dists := make([]float64, tz.HoursPerDay)
 	scratch := make([]float64, 2*tz.HoursPerDay)
 	avg := testing.AllocsPerRun(100, func() {
-		if _, err := nearestZoneIndex(p, generic, nil, DistanceCircularEMD, dists, scratch); err != nil {
+		if _, _, err := nearestZoneIndex(p, generic, nil, DistanceCircularEMD, dists, scratch); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -103,28 +103,30 @@ type LatencySnapshot struct {
 
 // Snapshot reads the histogram without stopping writers. Concurrent
 // observations may straddle the read; the snapshot is still internally
-// plausible (counts never negative, quantiles from the same bucket read).
+// consistent: Count IS the scanned bucket total (not the separately-raced
+// count counter), so quantile ranks, the mean divisor and the bucket mass
+// all describe the same read. The historical bug clamped Count *down* to
+// the scanned total but never up — an Observe landing its bucket increment
+// after count.Load was read pushed bucket mass above Count, skewing ranks —
+// and Mean divided a pre-scan Sum by the clamped count.
 func (h *LatencyHist) Snapshot() LatencySnapshot {
 	if h == nil {
 		return LatencySnapshot{}
 	}
-	s := LatencySnapshot{
-		Count:   h.count.Load(),
-		Sum:     h.sum.Load(),
-		buckets: make([]int64, latBuckets),
-	}
+	s := LatencySnapshot{buckets: make([]int64, latBuckets)}
 	var total int64
 	for i := range h.buckets {
 		n := h.buckets[i].Load()
 		s.buckets[i] = n
 		total += n
 	}
-	// Quantiles are computed over the bucket counts actually read, so a
-	// racing Observe between count.Load and the bucket scan cannot push a
-	// quantile rank past the scanned total.
-	if total < s.Count {
-		s.Count = total
-	}
+	// Count is the scanned total in both race directions, and Sum is read
+	// *after* the scan: Observe adds to sum before its bucket, so every
+	// observation counted in the scan already has its value in Sum, keeping
+	// Mean an upper-ish estimate consistent with the scanned mass rather
+	// than a pre-scan Sum divided by a post-scan count.
+	s.Count = total
+	s.Sum = h.sum.Load()
 	if s.Count > 0 {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 		s.P50 = s.Quantile(0.50)

@@ -215,3 +215,70 @@ func TestRegistryLatency(t *testing.T) {
 		t.Fatal("nil observer must hand out nil instruments")
 	}
 }
+
+// TestLatencySnapshotConsistentUnderRace hammers one histogram with a
+// constant observation while readers snapshot it, and checks the
+// invariants the old Snapshot violated: Count must equal the scanned
+// bucket mass (the old code clamped a separately-raced counter down but
+// never up), the mean must never dip below the constant value (the old
+// code divided a pre-scan Sum by a post-scan count), and the top
+// quantile must agree with Max (both now derive from the same scan).
+func TestLatencySnapshotConsistentUnderRace(t *testing.T) {
+	const v = 1000
+	h := &LatencyHist{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.ObserveNs(v)
+				}
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := h.Snapshot()
+				if s.Count == 0 {
+					continue
+				}
+				var mass int64
+				for _, n := range s.buckets {
+					mass += n
+				}
+				if mass != s.Count {
+					t.Errorf("Count %d != scanned bucket mass %d", s.Count, mass)
+					return
+				}
+				if s.Sum < v*s.Count {
+					t.Errorf("Sum %d < %d * Count %d: mean underestimates", s.Sum, int64(v), s.Count)
+					return
+				}
+				if got := s.Quantile(1.0); got != s.Max {
+					t.Errorf("Quantile(1.0) = %d, Max = %d", got, s.Max)
+					return
+				}
+			}
+		}()
+	}
+	// Let writers and readers overlap, then drain.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Mean < v {
+		t.Fatalf("final mean %g below the only observed value %d", s.Mean, v)
+	}
+	if s.P50 < v || s.Max < v {
+		t.Fatalf("final percentiles below the observed value: %+v", s)
+	}
+}

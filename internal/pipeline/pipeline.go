@@ -75,6 +75,25 @@ type Config struct {
 	// CheckpointPath enables stage checkpointing (empty = off). The file
 	// is rewritten atomically after each completed expensive stage.
 	CheckpointPath string
+	// Margins records each user's placement margin (best-vs-runner-up EMD
+	// gap) into the placement and a MarginSummary into the geolocation.
+	// Margins change the placement's serialized content, so the flag is
+	// part of the checkpoint fingerprint.
+	Margins bool
+	// BootstrapReplicates, when positive, computes bootstrap confidence
+	// intervals on the mixture components (geoloc.BootstrapMixtureCI) and
+	// attaches them as Geo.Confidence. The intervals are a deterministic
+	// function of (placement, mixture, replicates, seed, level), so they
+	// are recomputed on checkpoint resume rather than checkpointed.
+	BootstrapReplicates int
+	// BootstrapSeed seeds the bootstrap resampling RNG.
+	BootstrapSeed int64
+	// BootstrapLevel is the two-sided confidence level (0: 0.95).
+	BootstrapLevel float64
+	// Provenance, when set, emits the hash-chained provenance section
+	// (Result.Provenance): dataset snapshot hash, then one chained record
+	// per stage artifact through to the final report.
+	Provenance bool
 	// Context, when non-nil, cancels the run between and inside stages.
 	Context context.Context
 	// Obs, when non-nil, receives the per-stage spans and metrics the
@@ -102,8 +121,12 @@ type Result struct {
 	ActiveUsers int
 	// PolishRemoved counts flat profiles dropped by polishing.
 	PolishRemoved int
-	// Geo is the geolocation: placement, mixture, components, metrics.
+	// Geo is the geolocation: placement, mixture, components, metrics,
+	// plus Confidence when Config.BootstrapReplicates asked for it.
 	Geo *geoloc.Geolocation
+	// Provenance is the hash-chained measurement record; nil unless
+	// Config.Provenance was set.
+	Provenance *Provenance
 	// Restored lists the stages that came from the checkpoint instead of
 	// being recomputed, in pipeline order.
 	Restored []string
@@ -117,7 +140,9 @@ type Result struct {
 
 // checkpointVersion guards the on-disk format; bump it when the layout
 // changes so stale snapshots fail loudly instead of resuming garbage.
-const checkpointVersion = 1
+// v2: placements may carry per-user margins and the fingerprint covers the
+// margins flag.
+const checkpointVersion = 2
 
 // checkpoint is the cumulative snapshot of a staged run: each field is
 // nil until its stage completes, and the whole struct is rewritten
@@ -148,7 +173,7 @@ func fingerprint(ds *trace.Dataset, cfg Config) string {
 		binary.LittleEndian.PutUint64(buf[:], uint64(p.Time.UnixNano()))
 		h.Write(buf[:])
 	}
-	fmt.Fprintf(h, "|ref=%s|minposts=%d|polish=%v", cfg.ReferenceID, cfg.MinPosts, cfg.SkipPolish)
+	fmt.Fprintf(h, "|ref=%s|minposts=%d|polish=%v|margins=%v", cfg.ReferenceID, cfg.MinPosts, cfg.SkipPolish, cfg.Margins)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -393,6 +418,7 @@ func Geolocate(cfg Config) (*Result, error) {
 			Parallelism: cfg.Workers,
 			Context:     cfg.Context,
 			Obs:         o,
+			Margins:     cfg.Margins,
 		})
 		if err != nil {
 			return nil, err
@@ -406,24 +432,105 @@ func Geolocate(cfg Config) (*Result, error) {
 	if err := canceled(); err != nil {
 		return nil, err
 	}
+	var geo *geoloc.Geolocation
 	if ck.Geo != nil {
 		eo := o.Stage("em-select")
-		res.Geo = ck.Geo
+		geo = ck.Geo
 		restored(eo, "em-select")
 		eo.End()
-		return res, nil
+	} else {
+		geo, err = geoloc.FitPlacement(placement, geoloc.GeolocateOptions{
+			Place: geoloc.PlaceOptions{Parallelism: cfg.Workers},
+			Obs:   o,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The checkpoint is saved before the bootstrap attaches Confidence:
+		// the intervals are a cheap deterministic function of the
+		// checkpointed placement and mixture, so resumes recompute them
+		// instead of trusting (and bloating) the checkpoint.
+		ck.Geo = geo
+		if err := save(); err != nil {
+			return nil, err
+		}
 	}
-	geo, err := geoloc.FitPlacement(placement, geoloc.GeolocateOptions{
-		Place: geoloc.PlaceOptions{Parallelism: cfg.Workers},
-		Obs:   o,
-	})
+	res.Geo = geo
+
+	if cfg.BootstrapReplicates > 0 {
+		if err := canceled(); err != nil {
+			return nil, err
+		}
+		ci, err := geoloc.BootstrapMixtureCI(placement, geo.Mixture, geoloc.BootstrapOptions{
+			Replicates:  cfg.BootstrapReplicates,
+			Seed:        cfg.BootstrapSeed,
+			Level:       cfg.BootstrapLevel,
+			Parallelism: cfg.Workers,
+			Context:     cfg.Context,
+			Obs:         o,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: bootstrap confidence: %w", err)
+		}
+		geo.Confidence = ci
+	}
+
+	if cfg.Provenance {
+		prov, err := buildProvenance(ds, cfg, ck, profiles, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Provenance = prov
+	}
+	return res, nil
+}
+
+// buildProvenance assembles the hash chain once every artifact is in hand.
+// The chain is built at the end of the run but in stage order, and every
+// payload is an artifact the checkpoint round-trips (or a pure function of
+// them), so a fresh run and a checkpoint-resumed run chain identically.
+// kept is the post-polish profile map actually placed.
+func buildProvenance(ds *trace.Dataset, cfg Config, ck *checkpoint, kept map[string]profile.Profile, res *Result) (*Provenance, error) {
+	dsHash, err := HashDataset(ds)
 	if err != nil {
 		return nil, err
 	}
-	ck.Geo = geo
-	if err := save(); err != nil {
+	prov := &Provenance{
+		Version: provenanceVersion,
+		Dataset: DatasetID{Name: ds.Name, Posts: ds.NumPosts(), SHA256: dsHash},
+		Params: ProvenanceParams{
+			ReferenceID:         cfg.ReferenceID,
+			MinPosts:            cfg.MinPosts,
+			SkipPolish:          cfg.SkipPolish,
+			Margins:             cfg.Margins,
+			BootstrapReplicates: cfg.BootstrapReplicates,
+			BootstrapSeed:       cfg.BootstrapSeed,
+			BootstrapLevel:      cfg.BootstrapLevel,
+		},
+	}
+	if err := prov.addRecord("dataset", dsHash); err != nil {
 		return nil, err
 	}
-	res.Geo = geo
-	return res, nil
+	if err := prov.addJSON("reference", ck.Reference); err != nil {
+		return nil, err
+	}
+	if err := prov.addJSON("profile-build", ck.Profiles); err != nil {
+		return nil, err
+	}
+	if !cfg.SkipPolish {
+		err := prov.addJSON("polish", struct {
+			Kept    map[string]profile.Profile `json:"kept"`
+			Removed int                        `json:"removed"`
+		}{kept, res.PolishRemoved})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := prov.addJSON("placement", ck.Placement); err != nil {
+		return nil, err
+	}
+	if err := prov.addJSON("em-fit", res.Geo); err != nil {
+		return nil, err
+	}
+	return prov, nil
 }

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestReportBackCompat: with margins, bootstrap and provenance all off,
+// the report document is byte-identical to the pre-ISSUE-10 layout — a
+// plain indented Geolocation with no trace of the new sections. Golden
+// consumers parsing the old shape keep working untouched.
+func TestReportBackCompat(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Geolocate(Config{
+		TracePath:   writeCrowd(t, dir),
+		Reference:   testReference(t),
+		ReferenceID: "test-ref",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Provenance != nil {
+		t.Fatal("provenance produced without being requested")
+	}
+	doc, err := (&Report{Geolocation: res.Geo, Provenance: res.Provenance}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.MarshalIndent(res.Geo, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy = append(legacy, '\n')
+	if !bytes.Equal(doc, legacy) {
+		t.Errorf("features-off report differs from the legacy layout:\n%s\nvs\n%s", doc, legacy)
+	}
+	for _, absent := range []string{`"provenance"`, `"confidence"`, `"MarginSummary"`, `"Margins"`} {
+		if bytes.Contains(doc, []byte(absent)) {
+			t.Errorf("features-off report leaks %s", absent)
+		}
+	}
+
+	// And the other direction: with everything on, all sections appear.
+	on, err := Geolocate(Config{
+		TracePath:           writeCrowd(t, dir),
+		Reference:           testReference(t),
+		ReferenceID:         "test-ref",
+		Margins:             true,
+		BootstrapReplicates: 8,
+		BootstrapSeed:       1,
+		Provenance:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDoc, err := (&Report{Geolocation: on.Geo, Provenance: on.Provenance}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, present := range []string{`"provenance"`, `"confidence"`, `"MarginSummary"`, `"Margins"`} {
+		if !bytes.Contains(onDoc, []byte(present)) {
+			t.Errorf("features-on report lacks %s", present)
+		}
+	}
+}

@@ -33,6 +33,7 @@ package pipeline
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -140,10 +141,13 @@ type ServeReport struct {
 }
 
 // zoneEntry is one cached per-user placement, valid while the user's
-// profile version still matches.
+// profile version still matches. margin is the placement margin computed by
+// the same kernel call that picked the zone, so /place serves both from one
+// cache hit.
 type zoneEntry struct {
-	zone int
-	ver  uint64
+	zone   int
+	margin float64
+	ver    uint64
 }
 
 // daemonShard is one user-hash shard of the daemon's mutable read-side
@@ -370,7 +374,12 @@ type IngestResult struct {
 	// quarantine path); FirstError carries the first parse failure.
 	Rejected   int    `json:"rejected"`
 	FirstError string `json:"first_error,omitempty"`
-	// Posts and Users are stream totals after this request.
+	// Posts, Users and Gen are *daemon-wide* stream totals observed at the
+	// moment this request completed — they include posts applied by other
+	// requests running concurrently, not just this request's Accepted. The
+	// pair is snapshotted consistently: Users is read before Gen, and apply
+	// advances gen before users, so Users never counts a user whose first
+	// post isn't already included in Posts (Users <= Posts always holds).
 	Posts int    `json:"posts"`
 	Users int    `json:"users"`
 	Gen   uint64 `json:"gen"`
@@ -395,8 +404,11 @@ func (d *Daemon) Ingest(r io.Reader) (IngestResult, error) {
 	defer lineBufPool.Put(buf)
 	sc.Buffer((*buf)[:0], maxIngestLine)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(trimSpace(line)) == 0 {
+		// Full trim, not just leading: CRLF-terminated lines (curl on
+		// Windows, proxy rewrites) reach the scanner with a trailing \r
+		// when the stream mixes \r\n into a line the scanner split on \n.
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
 		user, sec, ok := parseIngestLine(line)
@@ -477,13 +489,21 @@ func (d *Daemon) maybeCompact() error {
 
 // finishIngest stamps the stream totals on the result and publishes the
 // request's observability deltas. Runs on every exit path.
+//
+// The totals are live global gauges, so a concurrent request's posts can be
+// included — that is the documented IngestResult semantics (daemon totals
+// at completion). What must NOT happen is an *inconsistent* pair: loading
+// gen before users could observe a user whose post hadn't been counted yet
+// (apply bumps gen before users), yielding Users > Posts on a fresh stream.
+// Loading users first inverts the race: any user counted here had its first
+// post's gen bump already visible, so Users <= Posts always holds.
 func (d *Daemon) finishIngest(res *IngestResult) {
 	if res.Rejected > 0 {
 		d.rejects.Add(uint64(res.Rejected))
 	}
+	res.Users = int(d.users.Load())
 	res.Gen = d.gen.Load()
 	res.Posts = int(res.Gen)
-	res.Users = int(d.users.Load())
 	d.cPosts.Add(int64(res.Accepted))
 	d.cRejects.Add(int64(res.Rejected))
 	d.gPosts.Set(int64(res.Posts))
@@ -494,15 +514,6 @@ func (d *Daemon) finishIngest(res *IngestResult) {
 		default:
 		}
 	}
-}
-
-// trimSpace is bytes.TrimSpace for the blank-line check without importing
-// bytes just for it.
-func trimSpace(b []byte) []byte {
-	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
-		b = b[1:]
-	}
-	return b
 }
 
 // writeSnapshot persists an immutable compacted dataset atomically.
@@ -611,10 +622,10 @@ func (d *Daemon) refit() (*ServeReport, error) {
 	// in the sweep; staleness is re-checked against the live version on
 	// every later read, so writing them back unconditionally is safe even
 	// if the user changed mid-fit.
-	for id, zi := range fresh {
+	for id, pz := range fresh {
 		sh := &d.shards[d.head.ShardOfString(id)]
 		sh.mu.Lock()
-		sh.zones[id] = zoneEntry{zone: zi, ver: versions[id]}
+		sh.zones[id] = zoneEntry{zone: pz.Zone, margin: pz.Margin, ver: versions[id]}
 		sh.mu.Unlock()
 	}
 	// fitMu makes this the only writer; the newer-generation guard only
@@ -634,6 +645,10 @@ type PlaceResult struct {
 	Active    bool   `json:"active"`
 	Offset    string `json:"offset,omitempty"`
 	ZoneIndex *int   `json:"zone_index,omitempty"`
+	// Margin is the placement margin: the EMD gap between the runner-up
+	// zone and the winning zone. Near zero means the placement was nearly a
+	// coin flip; large means the profile points unambiguously at one zone.
+	Margin *float64 `json:"margin,omitempty"`
 }
 
 // Place answers the per-user placement question: the zone whose reference
@@ -660,26 +675,29 @@ func (d *Daemon) Place(userID string) (PlaceResult, bool) {
 	ver := sh.acc.Version(userID)
 	if e, ok := sh.zones[userID]; ok && e.ver == ver {
 		sh.mu.Unlock()
-		zi := e.zone
+		zi, margin := e.zone, e.margin
 		res.ZoneIndex = &zi
 		res.Offset = profile.OffsetOf(zi).String()
+		res.Margin = &margin
 		d.cCached.Add(1)
 		return res, true
 	}
 	sh.mu.Unlock()
 	// Compute outside the lock: the EMD kernel needs only the profile
-	// copy. PlaceOne is the same nearest-zone kernel the batch placement
-	// sweeps, minus its map bookkeeping.
-	zi, err := geoloc.PlaceOne(p, d.generic, geoloc.PlaceOptions{})
+	// copy. PlaceOneMargin is the same nearest-zone kernel the batch
+	// placement sweeps, minus its map bookkeeping; the margin rides along
+	// from the same all-rotations call.
+	zi, margin, err := geoloc.PlaceOneMargin(p, d.generic, geoloc.PlaceOptions{})
 	if err != nil {
 		return res, true // active but unplaceable; report bare activity
 	}
 	res.ZoneIndex = &zi
 	res.Offset = profile.OffsetOf(zi).String()
+	res.Margin = &margin
 	d.cFresh.Add(1)
 	sh.mu.Lock()
 	if sh.acc.Version(userID) == ver {
-		sh.zones[userID] = zoneEntry{zone: zi, ver: ver}
+		sh.zones[userID] = zoneEntry{zone: zi, margin: margin, ver: ver}
 	}
 	sh.mu.Unlock()
 	return res, true

@@ -401,3 +401,48 @@ func TestDaemonConfigErrors(t *testing.T) {
 		t.Fatalf("reference error not propagated: %v", err)
 	}
 }
+
+// TestDaemonIngestResultConsistency hammers the daemon with single-post
+// bodies, each introducing a brand-new user — the worst case for the
+// Users/Posts totals race. Every response must satisfy Users <= Posts:
+// the old finishIngest loaded gen before users, so a concurrent apply
+// (which bumps gen first, then users) could surface a user whose post
+// was not yet counted, reporting Users > Posts on a fresh stream.
+func TestDaemonIngestResultConsistency(t *testing.T) {
+	d, err := NewDaemon(ServeConfig{Reference: testReference(t), RefitDebounce: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const writers = 8
+	const perWriter = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				body := fmt.Sprintf("{\"user_id\":\"w%d-u%04d\",\"time\":\"2017-06-01T10:00:00Z\"}\n", w, i)
+				res, err := d.Ingest(strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Accepted != 1 {
+					t.Errorf("accepted %d, want 1", res.Accepted)
+					return
+				}
+				if res.Users > res.Posts {
+					t.Errorf("inconsistent totals: %d users > %d posts", res.Users, res.Posts)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := d.Healthz()
+	if h.Posts != writers*perWriter || h.Users != writers*perWriter {
+		t.Fatalf("final totals %d posts / %d users, want %d each", h.Posts, h.Users, writers*perWriter)
+	}
+}
